@@ -1,0 +1,131 @@
+package mpsocsim_test
+
+// One benchmark per table/figure of the paper's evaluation. Each iteration
+// regenerates the corresponding experiment at a reduced workload scale and
+// reports the headline numbers as custom metrics, so `go test -bench=.`
+// doubles as a regression harness for the reproduced shapes:
+//
+//	BenchmarkSec411ManyToMany    §4.1.1  protocol differentiation, 6 slaves
+//	BenchmarkSec412ManyToOne     §4.1.2  memory-bound equality, 1 slave
+//	BenchmarkFig3PlatformInstances  Fig.3  on-chip memory instances
+//	BenchmarkFig4MemorySpeedSweep   Fig.4  distributed vs collapsed
+//	BenchmarkFig5LMIPlatforms       Fig.5  LMI + DDR instances
+//	BenchmarkFig6LMIStatistics      Fig.6  LMI interface fine-grain stats
+
+import (
+	"testing"
+
+	"mpsocsim/internal/experiments"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/platform"
+)
+
+var benchOpts = experiments.Options{Scale: 0.25, Seed: 1}
+
+func BenchmarkSec411ManyToMany(b *testing.B) {
+	var last experiments.Sec411Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Sec411(benchOpts, []float64{0})
+	}
+	p := last.Points[0]
+	b.ReportMetric(float64(p.AHB)/float64(p.STBus), "ahb/stbus")
+	b.ReportMetric(float64(p.AXI)/float64(p.STBus), "axi/stbus")
+}
+
+func BenchmarkSec412ManyToOne(b *testing.B) {
+	var last experiments.Series
+	for i := 0; i < b.N; i++ {
+		last = experiments.Sec412(benchOpts)
+	}
+	base := float64(last.Entries[0].Cycles)
+	b.ReportMetric(float64(last.Entries[1].Cycles)/base, "ahb/stbus")
+	b.ReportMetric(float64(last.Entries[2].Cycles)/base, "axi/stbus")
+}
+
+func BenchmarkFig3PlatformInstances(b *testing.B) {
+	var last experiments.Series
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig3(benchOpts)
+	}
+	by := map[string]float64{}
+	for _, e := range last.Entries {
+		by[e.Name] = float64(e.Cycles)
+	}
+	b.ReportMetric(by["full STBus"]/by["collapsed STBus"], "fullST/collapsedST")
+	b.ReportMetric(by["full AHB"]/by["full STBus"], "fullAHB/fullST")
+	b.ReportMetric(by["full AXI"]/by["full AHB"], "fullAXI/fullAHB")
+}
+
+func BenchmarkFig4MemorySpeedSweep(b *testing.B) {
+	var last experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig4(benchOpts, []int{0, 8, 32})
+	}
+	b.ReportMetric(last.Points[0].Ratio, "ratio@fast")
+	b.ReportMetric(last.Points[len(last.Points)-1].Ratio, "ratio@slow")
+}
+
+func BenchmarkFig5LMIPlatforms(b *testing.B) {
+	var last experiments.Series
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig5(benchOpts)
+	}
+	by := map[string]float64{}
+	for _, e := range last.Entries {
+		by[e.Name] = float64(e.Cycles)
+	}
+	b.ReportMetric(by["collapsed AXI"]/by["collapsed STBus"], "collAXI/collST")
+	b.ReportMetric(by["full AHB"]/by["distributed STBus"], "fullAHB/distST")
+	b.ReportMetric(by["collapsed STBus"]/by["distributed STBus"], "collST/distST")
+}
+
+func BenchmarkFig6LMIStatistics(b *testing.B) {
+	var last experiments.Fig6Report
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig6(benchOpts)
+	}
+	b.ReportMetric(last.PhaseA.FullFrac, "phaseA_full")
+	b.ReportMetric(last.PhaseB.EmptyFrac, "phaseB_empty")
+	b.ReportMetric(last.AHBNoRequest, "ahb_norequest")
+}
+
+// BenchmarkReferencePlatform measures raw simulator speed on the default
+// platform (cycles simulated per wall-clock second are derivable from
+// cycles/op and ns/op).
+func BenchmarkReferencePlatform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := platform.DefaultSpec()
+		s.WorkloadScale = 0.25
+		p := platform.MustBuild(s)
+		r := p.Run(experiments.Budget)
+		if !r.Done {
+			b.Fatal("run did not drain")
+		}
+		b.ReportMetric(float64(r.CentralCycles), "cycles")
+	}
+}
+
+// BenchmarkLMIAblation contrasts the memory controller with and without its
+// optimization engine (lookahead + opcode merging) on the full platform —
+// the design-choice ablation DESIGN.md calls out.
+func BenchmarkLMIAblation(b *testing.B) {
+	run := func(lookahead int, merging bool) int64 {
+		s := platform.DefaultSpec()
+		s.WorkloadScale = 0.25
+		s.LMI = lmi.DefaultConfig()
+		s.LMI.LookaheadDepth = lookahead
+		s.LMI.OpcodeMerging = merging
+		p := platform.MustBuild(s)
+		r := p.Run(experiments.Budget)
+		if !r.Done {
+			b.Fatal("run did not drain")
+		}
+		return r.CentralCycles
+	}
+	var opt, fcfs int64
+	for i := 0; i < b.N; i++ {
+		opt = run(4, true)
+		fcfs = run(0, false)
+	}
+	b.ReportMetric(float64(fcfs)/float64(opt), "fcfs/optimized")
+}

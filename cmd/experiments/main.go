@@ -1,0 +1,109 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	experiments sec411   single layer, many-to-many protocol comparison
+//	experiments sec412   single layer, many-to-one (memory-centric) bound
+//	experiments fig3     platform instances with on-chip memory
+//	experiments fig4     distributed vs centralized vs memory speed
+//	experiments fig5     platform instances with LMI + DDR SDRAM
+//	experiments fig6     fine-grain LMI bus-interface statistics
+//	experiments all      everything above
+//
+// The -scale flag shrinks or grows the workload; results are reported as
+// cycle counts and normalized execution times, to be compared in shape (who
+// wins, by what factor) against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpsocsim/internal/area"
+	"mpsocsim/internal/bridge"
+	"mpsocsim/internal/experiments"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/stbus"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Uint64("seed", 1, "traffic generator seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|ablations|area|latency|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	o := experiments.Options{Scale: *scale, Seed: *seed}
+	if err := run(flag.Arg(0), o); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, o experiments.Options) error {
+	w := os.Stdout
+	switch which {
+	case "sec411":
+		return experiments.Sec411(o, nil).Write(w)
+	case "sec412":
+		return experiments.Sec412(o).Write(w)
+	case "fig3":
+		return experiments.Fig3(o).Write(w)
+	case "fig4":
+		return experiments.Fig4(o, nil).Write(w)
+	case "fig5":
+		return experiments.Fig5(o).Write(w)
+	case "fig6":
+		return experiments.Fig6(o).Write(w)
+	case "latency":
+		return experiments.Latency(o).Write(w)
+	case "area":
+		fmt.Fprintln(w, "== First-order component cost (paper §3.2's bridge-area remark) ==")
+		fmt.Fprintln(w)
+		dspConv := bridge.GenConv(1)
+		dspConv.SrcBytesPerBeat = 4
+		if err := area.Report(w, []area.Estimate{
+			area.Node(stbus.Config{Type: stbus.Type3, BytesPerBeat: 8}, 5, 3),
+			area.Bridge("GenConv 64b (cluster bridge)", bridge.GenConv(1)),
+			area.Bridge("GenConv 32->64b (ST220 converter)", dspConv),
+			area.Bridge("lightweight bridge 64b", bridge.Lightweight(1)),
+			area.Controller(lmi.DefaultConfig()),
+		}); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	case "ablations":
+		if err := experiments.AblationMessaging(o).Write(w); err != nil {
+			return err
+		}
+		if err := experiments.AblationSTBusTypes(o).Write(w); err != nil {
+			return err
+		}
+		if err := experiments.AblationSDRvsDDR(o).Write(w); err != nil {
+			return err
+		}
+		return experiments.BridgeLatencySweep(o, nil).Write(w)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return experiments.Sec411(o, nil).Write(w) },
+			func() error { return experiments.Sec412(o).Write(w) },
+			func() error { return experiments.Fig3(o).Write(w) },
+			func() error { return experiments.Fig4(o, nil).Write(w) },
+			func() error { return experiments.Fig5(o).Write(w) },
+			func() error { return experiments.Fig6(o).Write(w) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+}

@@ -1,0 +1,141 @@
+// Command mpsocsim runs a single MPSoC platform instance and prints its
+// run report: execution time, per-IP traffic statistics, memory-subsystem
+// utilization and (for the LMI variant) the Fig.6-style bus-interface
+// monitor totals.
+//
+//	mpsocsim -protocol stbus -topology distributed -memory lmi
+//	mpsocsim -protocol ahb -memory onchip -waitstates 4 -scale 0.5
+//	mpsocsim -protocol axi -topology collapsed -memory lmi -split-lmi-bridge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpsocsim/internal/config"
+	"mpsocsim/internal/platform"
+	"mpsocsim/internal/trace"
+)
+
+func main() {
+	configFile := flag.String("config", "", "platform specification file (flags set explicitly override it)")
+	proto := flag.String("protocol", "stbus", "communication protocol: stbus|ahb|axi")
+	topo := flag.String("topology", "distributed", "topology: distributed|collapsed")
+	memKind := flag.String("memory", "lmi", "memory subsystem: onchip|lmi")
+	waits := flag.Int("waitstates", 1, "on-chip memory wait states")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Uint64("seed", 1, "traffic generator seed")
+	twoPhase := flag.Bool("twophase", false, "two-regime workload (Fig.6 profile)")
+	splitLMI := flag.Bool("split-lmi-bridge", false, "split-capable LMI conversion bridge")
+	noDSP := flag.Bool("no-dsp", false, "omit the ST220 core")
+	budgetMS := flag.Float64("budget", 50, "simulated-time budget in ms")
+	traceFile := flag.String("trace", "", "write waveform-style CSV samples to this file")
+	vcdFile := flag.String("vcd", "", "write a VCD waveform dump to this file")
+	tracePeriod := flag.Int64("trace-period", 100, "sampling period in central cycles")
+	flag.Parse()
+
+	spec := platform.DefaultSpec()
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			fatalf("config: %v", err)
+		}
+		parsed, err := config.ParsePlatform(f)
+		f.Close()
+		if err != nil {
+			fatalf("config: %s: %v", *configFile, err)
+		}
+		spec = parsed
+	}
+	// flags given explicitly on the command line override the file
+	set := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	applyIf := func(name string, apply func()) {
+		if *configFile == "" || set[name] {
+			apply()
+		}
+	}
+	applyIf("scale", func() { spec.WorkloadScale = *scale })
+	applyIf("seed", func() { spec.Seed = *seed })
+	applyIf("twophase", func() { spec.TwoPhase = *twoPhase })
+	applyIf("split-lmi-bridge", func() { spec.SplitLMIBridge = *splitLMI })
+	applyIf("no-dsp", func() { spec.WithDSP = !*noDSP })
+	applyIf("waitstates", func() { spec.OnChipWaitStates = *waits })
+	applyIf("protocol", func() {
+		switch *proto {
+		case "stbus":
+			spec.Protocol = platform.STBus
+		case "ahb":
+			spec.Protocol = platform.AHB
+		case "axi":
+			spec.Protocol = platform.AXI
+		default:
+			fatalf("unknown protocol %q", *proto)
+		}
+	})
+	applyIf("topology", func() {
+		switch *topo {
+		case "distributed":
+			spec.Topology = platform.Distributed
+		case "collapsed":
+			spec.Topology = platform.Collapsed
+		default:
+			fatalf("unknown topology %q", *topo)
+		}
+	})
+	applyIf("memory", func() {
+		switch *memKind {
+		case "onchip":
+			spec.Memory = platform.OnChip
+		case "lmi":
+			spec.Memory = platform.LMIDDR
+		default:
+			fatalf("unknown memory kind %q", *memKind)
+		}
+	})
+
+	p, err := platform.Build(spec)
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	var sampler *trace.Sampler
+	if *traceFile != "" || *vcdFile != "" {
+		sampler = trace.NewSampler(1 << 22)
+		p.AttachSampler(sampler, *tracePeriod)
+	}
+	r := p.Run(int64(*budgetMS * 1e9))
+	if err := r.WriteSummary(os.Stdout); err != nil {
+		fatalf("report: %v", err)
+	}
+	if sampler != nil && *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		if err := sampler.WriteCSV(f); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceFile)
+	}
+	if sampler != nil && *vcdFile != "" {
+		f, err := os.Create(*vcdFile)
+		if err != nil {
+			fatalf("vcd: %v", err)
+		}
+		defer f.Close()
+		if err := sampler.WriteVCD(f, "platform"); err != nil {
+			fatalf("vcd: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *vcdFile)
+	}
+	if !r.Done {
+		fatalf("run did not drain within %v ms of simulated time", *budgetMS)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpsocsim: "+format+"\n", args...)
+	os.Exit(1)
+}

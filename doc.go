@@ -1,0 +1,17 @@
+// Package mpsocsim is a cycle-accurate virtual platform for memory-centric
+// industrial MPSoCs, reproducing "Capturing the interaction of the
+// communication, memory and I/O subsystems in memory-centric industrial
+// MPSoC platforms" (Medardoni et al., DATE 2007).
+//
+// The simulator lives under internal/: a two-phase multi-clock kernel
+// (internal/sim), three interconnect fabrics (internal/stbus, internal/ahb,
+// internal/axi), configurable bridges (internal/bridge), IP traffic
+// generators (internal/iptg), an LMI-style SDRAM memory controller
+// (internal/lmi + internal/sdram), a VLIW DSP core model
+// (internal/dspcore), and platform assembly plus the paper's experiments
+// (internal/platform, internal/experiments).
+//
+// Entry points: cmd/mpsocsim runs one platform instance; cmd/experiments
+// regenerates every table and figure of the paper; examples/ contains four
+// runnable walkthroughs; bench_test.go benchmarks each experiment.
+package mpsocsim

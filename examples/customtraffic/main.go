@@ -1,0 +1,111 @@
+// Customtraffic shows the IPTG configuration-file workflow (paper §3.1:
+// per-IP configuration files): it parses a config describing two IPs with
+// dependent agents, attaches them to an STBus node in front of the LMI
+// memory controller, and reports per-agent statistics and the SDRAM command
+// mix.
+//
+//	go run ./examples/customtraffic [config-file]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/config"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/sim"
+	"mpsocsim/internal/stbus"
+)
+
+const defaultConfig = `
+# A video pipeline IP and a DMA engine sharing the LMI.
+[iptg video]
+width = 8
+seed  = 7
+
+[agent video/fetch]
+phase       = count=800 gap=1 burst=8..16 read=1.0
+outstanding = 6
+region      = 0x000000 0x200000
+pattern     = seq
+msglen      = 4
+
+[agent video/writeback]
+phase       = count=600 gap=2 burst=8..16 read=0.0
+outstanding = 4
+region      = 0x200000 0x200000
+pattern     = seq
+msglen      = 4
+posted      = true
+after       = fetch 32
+
+[iptg dma]
+width = 4
+seed  = 9
+
+[agent dma/copy]
+phase   = count=500 gap=0 burst=16 read=0.5
+pattern = stride
+stride  = 0x800
+region  = 0x400000 0x400000
+`
+
+func main() {
+	text := defaultConfig
+	if len(os.Args) > 1 {
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = string(data)
+	}
+	cfgs, err := config.ParseIPTGString(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kernel := sim.NewKernel()
+	clk := kernel.NewClock("bus", 250)
+	node := stbus.NewNode("n0", stbus.DefaultConfig(), bus.Single(0))
+	ctrl := lmi.New("lmi", lmi.DefaultConfig())
+	node.AttachTarget(ctrl.Port())
+
+	var ids bus.IDSource
+	var gens []*iptg.Generator
+	for i, cfg := range cfgs {
+		g, err := iptg.New(cfg, clk, &ids, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		node.AttachInitiator(g.Port())
+		clk.Register(g)
+		gens = append(gens, g)
+	}
+	clk.Register(node)
+	clk.Register(ctrl)
+
+	kernel.RunWhile(func() bool {
+		for _, g := range gens {
+			if !g.Done() {
+				return true
+			}
+		}
+		return false
+	}, 1e12)
+
+	fmt.Printf("executed %d cycles\n\n", clk.Cycles())
+	for _, g := range gens {
+		for _, a := range g.Stats() {
+			fmt.Printf("%-8s/%-10s issued=%4d completed=%4d bytes=%7d mean_lat=%6.1f\n",
+				g.Name(), a.Name, a.Issued, a.Completed, a.Bytes, a.MeanLatency)
+		}
+	}
+	s := ctrl.Stats()
+	fmt.Printf("\nLMI: served=%d merged_runs=%d lookahead_hits=%d utilization=%.1f%%\n",
+		s.Served, s.MergedRuns, s.LookaheadHits, 100*s.Utilization())
+	fmt.Printf("SDRAM: activates=%d precharges=%d refreshes=%d row-hit rate=%.1f%%\n",
+		s.SDRAM.Activates, s.SDRAM.Precharges, s.SDRAM.Refreshes, 100*s.SDRAM.HitRate())
+}

@@ -1,0 +1,3 @@
+module mpsocsim
+
+go 1.22

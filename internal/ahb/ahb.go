@@ -1,0 +1,173 @@
+// Package ahb models an AMBA AHB shared-bus layer as described in the paper
+// (§3.2): two unidirectional data links of which only one can be active at a
+// time, transaction pipelining (split address/data ownership) but no
+// multiple outstanding transactions, burst support, implicit non-posted
+// writes, and no split transactions — target wait states turn into idle bus
+// cycles that stall every other master.
+//
+// Grant hand-over is free: AHB re-arbitrates while the penultimate beat of a
+// burst is on the bus (HGRANT changes early), so back-to-back bursts incur
+// no arbitration bubble — the behaviour §4.1.2 calls "the best operating
+// condition for AMBA AHB".
+package ahb
+
+import (
+	"mpsocsim/internal/bus"
+)
+
+// Config parameterizes an AHB layer.
+type Config struct {
+	// BytesPerBeat is the bus data width in bytes.
+	BytesPerBeat int
+}
+
+// DefaultConfig returns a 64-bit AHB layer.
+func DefaultConfig() Config { return Config{BytesPerBeat: 8} }
+
+// Bus is a single AHB layer: one shared channel, one transaction in flight.
+type Bus struct {
+	name string
+	cfg  Config
+
+	initiators []*bus.InitiatorPort
+	targets    []*bus.TargetPort
+	amap       *bus.AddrMap
+
+	// current transaction (data phase) and the pipelined next one
+	// (address phase): AHB overlaps the next master's address phase with
+	// the current data phase (HGRANT changes early), so back-to-back
+	// transactions reach the slave with no handover bubble.
+	cur        *bus.Request
+	curTarget  int
+	next       *bus.Request
+	nextTarget int
+	rr         int
+
+	cycles     int64
+	busyCycles int64
+	dataBeats  int64
+	granted    int64
+}
+
+// New builds an empty AHB layer.
+func New(name string, cfg Config, amap *bus.AddrMap) *Bus {
+	if cfg.BytesPerBeat <= 0 {
+		cfg.BytesPerBeat = 8
+	}
+	return &Bus{name: name, cfg: cfg, amap: amap}
+}
+
+// Name returns the layer name.
+func (b *Bus) Name() string { return b.name }
+
+// AttachInitiator connects a master; see bus.Fabric.
+func (b *Bus) AttachInitiator(p *bus.InitiatorPort) int {
+	b.initiators = append(b.initiators, p)
+	return len(b.initiators) - 1
+}
+
+// AttachTarget connects a slave; see bus.Fabric.
+func (b *Bus) AttachTarget(p *bus.TargetPort) int {
+	b.targets = append(b.targets, p)
+	return len(b.targets) - 1
+}
+
+// Eval advances the bus one cycle.
+func (b *Bus) Eval() {
+	b.cycles++
+	if b.cur != nil {
+		b.busyCycles++
+		// Pipelined address phase: grant one transaction ahead while
+		// the current data phase is in progress.
+		if b.next == nil {
+			b.next, b.nextTarget = b.arbitrate()
+		}
+		// Wait for the slave's response beats; forward one per cycle.
+		tp := b.targets[b.curTarget]
+		ip := b.initiators[b.cur.Src]
+		if tp.Resp.CanPop() && ip.Resp.CanPush() {
+			beat := tp.Resp.Peek()
+			if beat.Req.ID == b.cur.ID {
+				tp.Resp.Pop()
+				ip.Resp.Push(beat)
+				b.dataBeats++
+				if beat.Last {
+					// the pipelined transaction (if any) enters
+					// its data phase with no handover bubble
+					b.cur, b.curTarget = b.next, b.nextTarget
+					b.next = nil
+				}
+			}
+		}
+		return
+	}
+	// Idle bus: plain address phase.
+	b.cur, b.curTarget = b.arbitrate()
+	if b.cur != nil {
+		b.busyCycles++
+	}
+}
+
+// arbitrate grants one queued request round-robin and hands it to its slave;
+// it returns nil when nothing can be granted this cycle.
+func (b *Bus) arbitrate() (*bus.Request, int) {
+	ni := len(b.initiators)
+	for k := 0; k < ni; k++ {
+		i := (b.rr + k) % ni
+		ip := b.initiators[i]
+		if !ip.Req.CanPop() {
+			continue
+		}
+		req := ip.Req.Peek()
+		t := b.amap.Decode(req.Addr)
+		if t < 0 || !b.targets[t].Req.CanPush() {
+			continue
+		}
+		ip.Req.Pop()
+		req.Src = i
+		req.Posted = false // AHB writes are implicitly non-posted
+		b.targets[t].Req.Push(req)
+		b.rr = (i + 1) % ni
+		b.granted++
+		return req, t
+	}
+	return nil, -1
+}
+
+// Update: the bus owns no FIFOs.
+func (b *Bus) Update() {}
+
+// Stats reports bus activity.
+func (b *Bus) Stats() Stats {
+	return Stats{
+		Cycles:     b.cycles,
+		BusyCycles: b.busyCycles,
+		DataBeats:  b.dataBeats,
+		Granted:    b.granted,
+	}
+}
+
+// Stats summarizes AHB activity.
+type Stats struct {
+	Cycles     int64
+	BusyCycles int64
+	DataBeats  int64
+	Granted    int64
+}
+
+// Utilization is the busy fraction of the bus (held cycles, including the
+// idle wait-state cycles the paper highlights as AHB's weakness).
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Cycles)
+}
+
+// DataEfficiency is the fraction of held cycles that moved data.
+func (s Stats) DataEfficiency() float64 {
+	if s.BusyCycles == 0 {
+		return 0
+	}
+	return float64(s.DataBeats) / float64(s.BusyCycles)
+}

@@ -1,0 +1,141 @@
+// Package area provides first-order silicon-cost estimates for the
+// interconnect components, supporting the paper's cost discussion: "a
+// typical GenConv bridge performing frequency conversion between T3 nodes
+// at 64 bits can be as large as an STBus node with 5x3 crossbar topology at
+// 64 bits" (§3.2). The model counts storage bits (FIFO payload + control)
+// and crossbar/mux complexity in gate equivalents; it is a comparison tool
+// for architecture exploration, not a synthesis estimate.
+package area
+
+import (
+	"fmt"
+	"io"
+
+	"mpsocsim/internal/bridge"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/stats"
+	"mpsocsim/internal/stbus"
+)
+
+// Gate-equivalent cost constants (order-of-magnitude, 90 nm-era relative
+// weights; only ratios matter for comparisons).
+const (
+	// GatesPerBit is the cost of one flip-flop bit of FIFO storage.
+	GatesPerBit = 8.0
+	// GatesPerMuxLane is the per-data-bit cost of one crossbar lane
+	// (mux tree + wiring overhead).
+	GatesPerMuxLane = 2.5
+	// GatesPerArbiter is the fixed cost of one arbitration point.
+	GatesPerArbiter = 400.0
+	// GatesCDC is the fixed cost of one clock-domain-crossing
+	// synchronizer pair.
+	GatesCDC = 600.0
+	// reqCtrlBits is the control overhead per queued request (address,
+	// opcode, length, labels) beyond payload storage.
+	reqCtrlBits = 64
+)
+
+// Estimate is a component's first-order cost.
+type Estimate struct {
+	Name        string
+	StorageBits int
+	Gates       float64
+}
+
+// Node estimates an STBus node with the given port counts.
+func Node(cfg stbus.Config, initiators, targets int) Estimate {
+	cfg = normalizeNode(cfg)
+	dataBits := cfg.BytesPerBeat * 8
+	// crossbar lanes: request path (initiators x targets) and response
+	// path (targets x initiators), each dataBits wide
+	lanes := 2 * initiators * targets * dataBits
+	// per-port pipeline registers (one request register per initiator,
+	// one response register per target)
+	storage := (initiators + targets) * (dataBits + reqCtrlBits)
+	// per-target request arbiters and per-initiator response arbiters
+	arbiters := initiators + targets
+	gates := float64(lanes)*GatesPerMuxLane +
+		float64(storage)*GatesPerBit +
+		float64(arbiters)*GatesPerArbiter
+	return Estimate{
+		Name:        fmt.Sprintf("STBus %s node %dx%d @%dbit", cfg.Type, initiators, targets, dataBits),
+		StorageBits: storage,
+		Gates:       gates,
+	}
+}
+
+func normalizeNode(cfg stbus.Config) stbus.Config {
+	if cfg.BytesPerBeat <= 0 {
+		cfg.BytesPerBeat = 8
+	}
+	if cfg.Type == 0 {
+		cfg.Type = stbus.Type3
+	}
+	return cfg
+}
+
+// Bridge estimates a bridge instance from its configuration.
+func Bridge(name string, cfg bridge.Config) Estimate {
+	srcBits := cfg.SrcBytesPerBeat * 8
+	dstBits := cfg.DstBytesPerBeat * 8
+	if srcBits <= 0 {
+		srcBits = 64
+	}
+	if dstBits <= 0 {
+		dstBits = 64
+	}
+	wide := srcBits
+	if dstBits > wide {
+		wide = dstBits
+	}
+	storage := cfg.ReqDepth*(wide+reqCtrlBits) + // request crossing FIFO
+		cfg.RespDepth*(wide+8) + // response crossing FIFO
+		cfg.PortReqDepth*(srcBits+reqCtrlBits) +
+		cfg.PortRespDepth*(srcBits+8)
+	if cfg.Split {
+		// reorder/tracking state per outstanding transaction
+		storage += cfg.MaxOutstanding * reqCtrlBits
+	}
+	gates := float64(storage) * GatesPerBit
+	if cfg.SyncCycles > 0 {
+		gates += 2 * GatesCDC // one synchronizer pair per direction
+	}
+	if srcBits != dstBits {
+		gates += float64(wide) * GatesPerMuxLane * 4 // width-conversion datapath
+	}
+	gates += GatesPerArbiter // target-side acceptance control
+	return Estimate{Name: name, StorageBits: storage, Gates: gates}
+}
+
+// Controller estimates the LMI memory controller.
+func Controller(cfg lmi.Config) Estimate {
+	dataBits := 64
+	storage := cfg.InputFifoDepth*(dataBits+reqCtrlBits) +
+		cfg.OutputFifoDepth*(dataBits+8)
+	gates := float64(storage)*GatesPerBit +
+		2*GatesPerArbiter + // command scheduler + refresh engine
+		float64(cfg.LookaheadDepth)*reqCtrlBits*GatesPerMuxLane // comparator window
+	if cfg.OpcodeMerging {
+		gates += 1500 // merge detection logic
+	}
+	return Estimate{Name: "LMI controller", StorageBits: storage, Gates: gates}
+}
+
+// Report renders a set of estimates with a ratio column against the first
+// entry.
+func Report(w io.Writer, estimates []Estimate) error {
+	tbl := stats.NewTable("component", "storage bits", "gate est.", "ratio")
+	var base float64
+	for i, e := range estimates {
+		if i == 0 {
+			base = e.Gates
+		}
+		ratio := 0.0
+		if base > 0 {
+			ratio = e.Gates / base
+		}
+		tbl.AddRow(e.Name, fmt.Sprint(e.StorageBits),
+			fmt.Sprintf("%.0f", e.Gates), fmt.Sprintf("%.2f", ratio))
+	}
+	return tbl.Write(w)
+}

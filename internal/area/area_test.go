@@ -1,0 +1,77 @@
+package area
+
+import (
+	"strings"
+	"testing"
+
+	"mpsocsim/internal/bridge"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/stbus"
+)
+
+func TestGenConvComparableToCrossbarNode(t *testing.T) {
+	// The paper's data point: a GenConv bridge doing frequency conversion
+	// between 64-bit T3 nodes can be as large as a 5x3 crossbar node at
+	// 64 bits. The first-order model should put them within a factor ~3.
+	conv := Bridge("genconv", bridge.GenConv(1))
+	node := Node(stbus.Config{Type: stbus.Type3, BytesPerBeat: 8}, 5, 3)
+	ratio := conv.Gates / node.Gates
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Fatalf("GenConv/node gate ratio %.2f outside the plausibility band (conv=%.0f node=%.0f)",
+			ratio, conv.Gates, node.Gates)
+	}
+}
+
+func TestLightweightCheaperThanGenConv(t *testing.T) {
+	lw := Bridge("lw", bridge.Lightweight(1))
+	gc := Bridge("gc", bridge.GenConv(1))
+	if lw.Gates >= gc.Gates {
+		t.Fatalf("lightweight bridge (%.0f) must be cheaper than GenConv (%.0f)", lw.Gates, gc.Gates)
+	}
+}
+
+func TestNodeScalesWithPorts(t *testing.T) {
+	small := Node(stbus.Config{BytesPerBeat: 8}, 2, 1)
+	big := Node(stbus.Config{BytesPerBeat: 8}, 8, 4)
+	if big.Gates <= small.Gates {
+		t.Fatal("bigger crossbar must cost more")
+	}
+	wide := Node(stbus.Config{BytesPerBeat: 16}, 2, 1)
+	if wide.Gates <= small.Gates {
+		t.Fatal("wider datapath must cost more")
+	}
+}
+
+func TestControllerScalesWithFifosAndLookahead(t *testing.T) {
+	base := lmi.DefaultConfig()
+	small := Controller(base)
+	deep := base
+	deep.InputFifoDepth = 16
+	deep.LookaheadDepth = 16
+	if Controller(deep).Gates <= small.Gates {
+		t.Fatal("deeper controller must cost more")
+	}
+	noOpt := base
+	noOpt.OpcodeMerging = false
+	if Controller(noOpt).Gates >= small.Gates {
+		t.Fatal("merging logic must have a cost")
+	}
+}
+
+func TestReport(t *testing.T) {
+	var sb strings.Builder
+	err := Report(&sb, []Estimate{
+		Node(stbus.Config{BytesPerBeat: 8}, 5, 3),
+		Bridge("genconv", bridge.GenConv(1)),
+		Controller(lmi.DefaultConfig()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"STBus T3 node 5x3", "genconv", "LMI controller", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package bus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region maps an address range [Base, Base+Size) to a target port index.
+type Region struct {
+	Base   uint64
+	Size   uint64
+	Target int
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// AddrMap decodes addresses to target indices. Regions must not overlap.
+type AddrMap struct {
+	regions []Region
+}
+
+// NewAddrMap builds an address map, validating that regions are non-empty
+// and non-overlapping.
+func NewAddrMap(regions ...Region) (*AddrMap, error) {
+	rs := make([]Region, len(regions))
+	copy(rs, regions)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Base < rs[j].Base })
+	for i, r := range rs {
+		if r.Size == 0 {
+			return nil, fmt.Errorf("bus: region %d at %#x has zero size", i, r.Base)
+		}
+		if r.End() < r.Base {
+			return nil, fmt.Errorf("bus: region %d at %#x overflows address space", i, r.Base)
+		}
+		if i > 0 && rs[i-1].End() > r.Base {
+			return nil, fmt.Errorf("bus: regions overlap at %#x", r.Base)
+		}
+	}
+	return &AddrMap{regions: rs}, nil
+}
+
+// MustAddrMap is NewAddrMap that panics on error, for static platform tables.
+func MustAddrMap(regions ...Region) *AddrMap {
+	m, err := NewAddrMap(regions...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Decode returns the target index for addr, or -1 if unmapped.
+func (m *AddrMap) Decode(addr uint64) int {
+	lo, hi := 0, len(m.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := m.regions[mid]
+		switch {
+		case addr < r.Base:
+			hi = mid
+		case addr >= r.End():
+			lo = mid + 1
+		default:
+			return r.Target
+		}
+	}
+	return -1
+}
+
+// Regions returns the sorted regions (shared slice; callers must not mutate).
+func (m *AddrMap) Regions() []Region { return m.regions }
+
+// Single returns an address map sending the entire address space to one
+// target — the memory-centric configuration of the paper's platform.
+func Single(target int) *AddrMap {
+	return MustAddrMap(Region{Base: 0, Size: 1 << 63, Target: target})
+}

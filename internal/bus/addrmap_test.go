@@ -1,0 +1,106 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrMapDecode(t *testing.T) {
+	m, err := NewAddrMap(
+		Region{Base: 0x0000, Size: 0x1000, Target: 0},
+		Region{Base: 0x1000, Size: 0x1000, Target: 1},
+		Region{Base: 0x8000, Size: 0x4000, Target: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr uint64
+		want int
+	}{
+		{0x0, 0}, {0xfff, 0},
+		{0x1000, 1}, {0x1fff, 1},
+		{0x2000, -1}, {0x7fff, -1},
+		{0x8000, 2}, {0xbfff, 2},
+		{0xc000, -1},
+	}
+	for _, tc := range cases {
+		if got := m.Decode(tc.addr); got != tc.want {
+			t.Errorf("Decode(%#x) = %d, want %d", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestAddrMapRejectsOverlap(t *testing.T) {
+	_, err := NewAddrMap(
+		Region{Base: 0x0, Size: 0x2000, Target: 0},
+		Region{Base: 0x1000, Size: 0x1000, Target: 1},
+	)
+	if err == nil {
+		t.Fatal("overlapping regions must be rejected")
+	}
+}
+
+func TestAddrMapRejectsZeroSize(t *testing.T) {
+	_, err := NewAddrMap(Region{Base: 0x1000, Size: 0, Target: 0})
+	if err == nil {
+		t.Fatal("zero-size region must be rejected")
+	}
+}
+
+func TestAddrMapRejectsWrap(t *testing.T) {
+	_, err := NewAddrMap(Region{Base: ^uint64(0) - 10, Size: 100, Target: 0})
+	if err == nil {
+		t.Fatal("wrapping region must be rejected")
+	}
+}
+
+func TestMustAddrMapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddrMap must panic on invalid input")
+		}
+	}()
+	MustAddrMap(Region{Base: 0, Size: 0, Target: 0})
+}
+
+func TestSingleMapsEverything(t *testing.T) {
+	m := Single(3)
+	for _, a := range []uint64{0, 0x1234, 1 << 40, 1<<63 - 1} {
+		if got := m.Decode(a); got != 3 {
+			t.Errorf("Decode(%#x) = %d, want 3", a, got)
+		}
+	}
+}
+
+// Property: for any set of disjoint regions, every address inside a region
+// decodes to that region's target and every address in a gap decodes to -1.
+func TestAddrMapPropertyDecode(t *testing.T) {
+	prop := func(bases []uint16, off uint16) bool {
+		// construct disjoint 256-byte regions from unique bases
+		seen := map[uint64]bool{}
+		var regions []Region
+		for i, b := range bases {
+			base := uint64(b) << 8
+			if seen[base] {
+				continue
+			}
+			seen[base] = true
+			regions = append(regions, Region{Base: base, Size: 256, Target: i})
+		}
+		m, err := NewAddrMap(regions...)
+		if err != nil {
+			return false
+		}
+		for _, r := range regions {
+			a := r.Base + uint64(off)%r.Size
+			if m.Decode(a) != r.Target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package bus defines the protocol-independent vocabulary shared by every
+// interconnect fabric in the platform: requests, response beats, the
+// initiator/target port pairs through which components attach to a fabric,
+// and the address map used for target decoding.
+//
+// A fabric (internal/stbus, internal/ahb, internal/axi) is a sim.Clocked
+// component that moves Requests from InitiatorPorts to TargetPorts and
+// response Beats back, according to its protocol's arbitration and
+// outstanding-transaction rules. Initiators (internal/iptg,
+// internal/dspcore, bridge initiator sides) and targets (internal/mem,
+// internal/lmi, bridge target sides) see only the port types defined here,
+// so any component composes with any fabric.
+package bus
+
+import "fmt"
+
+// Op is a transaction opcode.
+type Op uint8
+
+// Transaction opcodes.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	if o == OpRead {
+		return "R"
+	}
+	return "W"
+}
+
+// Request is one bus transaction (a burst). Data is not carried — the model
+// is timing-accurate, not data-accurate, exactly like the paper's IPTG-based
+// platform where traffic shape, not payload, determines performance.
+type Request struct {
+	// ID is globally unique, assigned by the issuing initiator.
+	ID uint64
+	// Src identifies the initiator port index on the fabric where the
+	// request entered (source labelling, STBus Type >=2). Fabrics and
+	// bridges rewrite Src at each layer boundary to route responses.
+	Src int
+	// Origin preserves the system-wide initiator identity across bridges
+	// for end-to-end statistics.
+	Origin int
+	Op     Op
+	Addr   uint64
+	// Beats is the number of data beats in the burst at the current
+	// fabric's data width. Width converters rescale it.
+	Beats int
+	// BytesPerBeat is the data width in bytes at the current fabric.
+	BytesPerBeat int
+	// Prio is the arbitration priority (higher wins) where the protocol
+	// supports priority labelling.
+	Prio int
+	// MsgSeq and MsgEnd implement STBus message-based arbitration:
+	// consecutive requests of one message carry the same MsgSeq from one
+	// initiator, and the arbiter holds the grant until MsgEnd.
+	MsgSeq uint64
+	MsgEnd bool
+	// Posted marks a posted write: the fabric acknowledges it at
+	// acceptance and no response is routed back to the initiator.
+	Posted bool
+	// IssueCycle/IssuePS record when the initiator issued the request,
+	// for latency accounting (in the initiator's clock domain and in
+	// absolute picoseconds).
+	IssueCycle int64
+	IssuePS    int64
+}
+
+// Bytes returns the total payload size of the burst.
+func (r *Request) Bytes() int { return r.Beats * r.BytesPerBeat }
+
+// String formats a compact request description for traces.
+func (r *Request) String() string {
+	return fmt.Sprintf("%s#%d src%d @%#x %dx%dB", r.Op, r.ID, r.Src, r.Addr, r.Beats, r.BytesPerBeat)
+}
+
+// Beat is one response data beat (for reads) or the write acknowledgement
+// (for non-posted writes, a single beat with Last=true).
+type Beat struct {
+	Req  *Request
+	Idx  int
+	Last bool
+}
+
+// InitiatorPort attaches an initiator to a fabric: the initiator pushes
+// Requests into Req and pops response Beats from Resp. The fabric owns the
+// arbitration over when Req entries drain.
+type InitiatorPort struct {
+	Name string
+	Req  *Queue
+	Resp *BeatQueue
+}
+
+// TargetPort attaches a target to a fabric: the fabric pushes Requests into
+// Req (the target's input FIFO — its depth models the target's buffering,
+// e.g. the LMI bus-interface FIFO) and pops response Beats from Resp.
+type TargetPort struct {
+	Name string
+	Req  *Queue
+	Resp *BeatQueue
+}
+
+// Update commits both FIFOs; the owning fabric or target calls it once per
+// cycle of the domain that owns the port.
+func (p *InitiatorPort) Update() {
+	p.Req.Update()
+	p.Resp.Update()
+}
+
+// Update commits both FIFOs once per owning-domain cycle.
+func (p *TargetPort) Update() {
+	p.Req.Update()
+	p.Resp.Update()
+}

@@ -1,0 +1,49 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Fatalf("op strings: %s %s", OpRead, OpWrite)
+	}
+}
+
+func TestRequestBytes(t *testing.T) {
+	r := &Request{Beats: 8, BytesPerBeat: 4}
+	if r.Bytes() != 32 {
+		t.Fatalf("bytes = %d, want 32", r.Bytes())
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{ID: 3, Src: 1, Op: OpWrite, Addr: 0x1000, Beats: 4, BytesPerBeat: 8}
+	s := r.String()
+	for _, want := range []string{"W#3", "src1", "0x1000", "4x8B"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestPortUpdateCommits(t *testing.T) {
+	ip := NewInitiatorPort("i0", 2, 4)
+	ip.Req.Push(&Request{ID: 1})
+	ip.Resp.Push(Beat{Idx: 0, Last: true})
+	if ip.Req.CanPop() || ip.Resp.CanPop() {
+		t.Fatal("staged entries visible before Update")
+	}
+	ip.Update()
+	if !ip.Req.CanPop() || !ip.Resp.CanPop() {
+		t.Fatal("entries not visible after Update")
+	}
+
+	tp := NewTargetPort("t0", 4, 4)
+	tp.Req.Push(&Request{ID: 2})
+	tp.Update()
+	if !tp.Req.CanPop() {
+		t.Fatal("target port req not committed")
+	}
+}

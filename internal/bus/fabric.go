@@ -1,0 +1,18 @@
+package bus
+
+import "mpsocsim/internal/sim"
+
+// Fabric is the interface every interconnect model (STBus node, AHB bus,
+// AXI interconnect) implements, so platforms and bridges compose with any
+// of them. Attach methods must be called before the first cycle.
+type Fabric interface {
+	sim.Clocked
+	// AttachInitiator connects an initiator port and returns the index
+	// the fabric writes into Request.Src for response routing.
+	AttachInitiator(p *InitiatorPort) int
+	// AttachTarget connects a target port and returns its index in the
+	// fabric's address map.
+	AttachTarget(p *TargetPort) int
+	// Name identifies the fabric instance in statistics.
+	Name() string
+}

@@ -1,0 +1,14 @@
+package bus
+
+// IDSource hands out globally unique request IDs. The simulation is
+// single-threaded, so a plain counter suffices; IDs start at 1 so the zero
+// value of Request.ID means "unassigned".
+type IDSource struct {
+	next uint64
+}
+
+// Next returns a fresh request ID.
+func (s *IDSource) Next() uint64 {
+	s.next++
+	return s.next
+}

@@ -1,0 +1,37 @@
+package bus
+
+import "mpsocsim/internal/sim"
+
+// Queue is a two-phase FIFO of *Request. It is a thin named wrapper around
+// sim.Fifo so port types read naturally at call sites.
+type Queue = sim.Fifo[*Request]
+
+// BeatQueue is a two-phase FIFO of response Beats.
+type BeatQueue = sim.Fifo[Beat]
+
+// NewQueue returns a request queue with the given depth.
+func NewQueue(name string, depth int) *Queue { return sim.NewFifo[*Request](name, depth) }
+
+// NewBeatQueue returns a beat queue with the given depth.
+func NewBeatQueue(name string, depth int) *BeatQueue { return sim.NewFifo[Beat](name, depth) }
+
+// NewInitiatorPort builds an initiator port with request/response queue
+// depths reqDepth and respDepth.
+func NewInitiatorPort(name string, reqDepth, respDepth int) *InitiatorPort {
+	return &InitiatorPort{
+		Name: name,
+		Req:  NewQueue(name+".req", reqDepth),
+		Resp: NewBeatQueue(name+".resp", respDepth),
+	}
+}
+
+// NewTargetPort builds a target port. reqDepth models the target's input
+// FIFO (e.g. the LMI bus-interface FIFO); respDepth its output/prefetch
+// FIFO.
+func NewTargetPort(name string, reqDepth, respDepth int) *TargetPort {
+	return &TargetPort{
+		Name: name,
+		Req:  NewQueue(name+".req", reqDepth),
+		Resp: NewBeatQueue(name+".resp", respDepth),
+	}
+}

@@ -1,0 +1,320 @@
+// Package config parses the per-IP configuration files that drive IPTG
+// instances, mirroring how the real traffic generators are configured
+// (paper §3.1: "all the required options and parameters are set in a per-IP
+// configuration file").
+//
+// Format: an INI-like text with one [iptg NAME] section per IP and one
+// [agent IP/AGENT] section per sub-process:
+//
+//	# the video decoder IP
+//	[iptg video]
+//	width = 8
+//	seed  = 42
+//
+//	[agent video/stream]
+//	phase       = count=1000 gap=2 burst=8..16 read=0.9
+//	phase       = count=500  gap=30 burst=4..8 read=0.9
+//	outstanding = 4
+//	region      = 0x100000 0x80000
+//	pattern     = seq            # seq | stride | rand
+//	stride      = 0x100
+//	msglen      = 4
+//	prio        = 2
+//	posted      = true
+//	after       = ctrl 100       # start after agent ctrl completes 100 txns
+//
+// '#' starts a comment; blank lines are ignored.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpsocsim/internal/iptg"
+)
+
+// ParseIPTGs reads IPTG configurations from r. The returned slice is sorted
+// by IP name for determinism.
+func ParseIPTGs(r io.Reader) ([]iptg.Config, error) {
+	p := &parser{
+		byIP: map[string]*iptg.Config{},
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		p.lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.feed(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", p.lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(p.byIP))
+	for n := range p.byIP {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]iptg.Config, 0, len(names))
+	for _, n := range names {
+		out = append(out, *p.byIP[n])
+	}
+	return out, nil
+}
+
+// ParseIPTGString is ParseIPTGs over a string.
+func ParseIPTGString(s string) ([]iptg.Config, error) {
+	return ParseIPTGs(strings.NewReader(s))
+}
+
+type parser struct {
+	lineNo int
+	byIP   map[string]*iptg.Config
+
+	// current section
+	curIP    *iptg.Config
+	curAgent *iptg.AgentConfig
+}
+
+func (p *parser) feed(line string) error {
+	if strings.HasPrefix(line, "[") {
+		return p.section(line)
+	}
+	key, val, ok := strings.Cut(line, "=")
+	if !ok {
+		return fmt.Errorf("expected key = value, got %q", line)
+	}
+	key = strings.TrimSpace(key)
+	val = strings.TrimSpace(val)
+	switch {
+	case p.curAgent != nil:
+		return p.agentKey(key, val)
+	case p.curIP != nil:
+		return p.iptgKey(key, val)
+	default:
+		return fmt.Errorf("key %q outside any section", key)
+	}
+}
+
+func (p *parser) section(line string) error {
+	if !strings.HasSuffix(line, "]") {
+		return fmt.Errorf("unterminated section header %q", line)
+	}
+	inner := strings.TrimSpace(line[1 : len(line)-1])
+	kind, name, ok := strings.Cut(inner, " ")
+	if !ok {
+		return fmt.Errorf("section %q needs a name", inner)
+	}
+	name = strings.TrimSpace(name)
+	switch kind {
+	case "iptg":
+		if _, dup := p.byIP[name]; dup {
+			return fmt.Errorf("duplicate iptg %q", name)
+		}
+		cfg := &iptg.Config{Name: name}
+		p.byIP[name] = cfg
+		p.curIP = cfg
+		p.curAgent = nil
+		return nil
+	case "agent":
+		ipName, agentName, ok := strings.Cut(name, "/")
+		if !ok {
+			return fmt.Errorf("agent section %q must be IP/AGENT", name)
+		}
+		cfg := p.byIP[ipName]
+		if cfg == nil {
+			return fmt.Errorf("agent %q references unknown iptg %q", name, ipName)
+		}
+		cfg.Agents = append(cfg.Agents, iptg.AgentConfig{Name: agentName})
+		p.curIP = cfg
+		p.curAgent = &cfg.Agents[len(cfg.Agents)-1]
+		return nil
+	default:
+		return fmt.Errorf("unknown section kind %q", kind)
+	}
+}
+
+func (p *parser) iptgKey(key, val string) error {
+	switch key {
+	case "width":
+		v, err := parseInt(val)
+		if err != nil {
+			return fmt.Errorf("width: %w", err)
+		}
+		p.curIP.BytesPerBeat = int(v)
+	case "seed":
+		v, err := parseUint(val)
+		if err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+		p.curIP.Seed = v
+	case "reqdepth":
+		v, err := parseInt(val)
+		if err != nil {
+			return fmt.Errorf("reqdepth: %w", err)
+		}
+		p.curIP.PortReqDepth = int(v)
+	case "respdepth":
+		v, err := parseInt(val)
+		if err != nil {
+			return fmt.Errorf("respdepth: %w", err)
+		}
+		p.curIP.PortRespDepth = int(v)
+	default:
+		return fmt.Errorf("unknown iptg key %q", key)
+	}
+	return nil
+}
+
+func (p *parser) agentKey(key, val string) error {
+	a := p.curAgent
+	switch key {
+	case "phase":
+		ph, err := parsePhase(val)
+		if err != nil {
+			return fmt.Errorf("phase: %w", err)
+		}
+		a.Phases = append(a.Phases, ph)
+	case "outstanding":
+		v, err := parseInt(val)
+		if err != nil {
+			return fmt.Errorf("outstanding: %w", err)
+		}
+		a.Outstanding = int(v)
+	case "region":
+		fields := strings.Fields(val)
+		if len(fields) != 2 {
+			return fmt.Errorf("region wants BASE SIZE, got %q", val)
+		}
+		base, err := parseUint(fields[0])
+		if err != nil {
+			return fmt.Errorf("region base: %w", err)
+		}
+		size, err := parseUint(fields[1])
+		if err != nil {
+			return fmt.Errorf("region size: %w", err)
+		}
+		a.RegionBase, a.RegionSize = base, size
+	case "pattern":
+		switch val {
+		case "seq":
+			a.Pattern = iptg.Sequential
+		case "stride":
+			a.Pattern = iptg.Strided
+		case "rand":
+			a.Pattern = iptg.Random
+		default:
+			return fmt.Errorf("unknown pattern %q", val)
+		}
+	case "stride":
+		v, err := parseUint(val)
+		if err != nil {
+			return fmt.Errorf("stride: %w", err)
+		}
+		a.Stride = v
+	case "msglen":
+		v, err := parseInt(val)
+		if err != nil {
+			return fmt.Errorf("msglen: %w", err)
+		}
+		a.MsgLen = int(v)
+	case "prio":
+		v, err := parseInt(val)
+		if err != nil {
+			return fmt.Errorf("prio: %w", err)
+		}
+		a.Prio = int(v)
+	case "posted":
+		switch val {
+		case "true", "yes", "1":
+			a.PostedWrites = true
+		case "false", "no", "0":
+			a.PostedWrites = false
+		default:
+			return fmt.Errorf("posted wants a boolean, got %q", val)
+		}
+	case "after":
+		fields := strings.Fields(val)
+		if len(fields) != 2 {
+			return fmt.Errorf("after wants AGENT COUNT, got %q", val)
+		}
+		n, err := parseInt(fields[1])
+		if err != nil {
+			return fmt.Errorf("after count: %w", err)
+		}
+		a.After, a.AfterCount = fields[0], n
+	default:
+		return fmt.Errorf("unknown agent key %q", key)
+	}
+	return nil
+}
+
+// parsePhase parses "count=N gap=F burst=A..B read=F".
+func parsePhase(val string) (iptg.Phase, error) {
+	ph := iptg.Phase{BurstMin: 1, BurstMax: 1}
+	for _, tok := range strings.Fields(val) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return ph, fmt.Errorf("bad token %q", tok)
+		}
+		switch k {
+		case "count":
+			n, err := parseInt(v)
+			if err != nil {
+				return ph, fmt.Errorf("count: %w", err)
+			}
+			ph.Count = n
+		case "gap":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return ph, fmt.Errorf("gap: %w", err)
+			}
+			ph.GapMean = f
+		case "burst":
+			lo, hi, ok := strings.Cut(v, "..")
+			if !ok {
+				lo, hi = v, v
+			}
+			a, err := parseInt(lo)
+			if err != nil {
+				return ph, fmt.Errorf("burst: %w", err)
+			}
+			b, err := parseInt(hi)
+			if err != nil {
+				return ph, fmt.Errorf("burst: %w", err)
+			}
+			ph.BurstMin, ph.BurstMax = int(a), int(b)
+		case "read":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return ph, fmt.Errorf("read: %w", err)
+			}
+			ph.ReadFrac = f
+		default:
+			return ph, fmt.Errorf("unknown phase key %q", k)
+		}
+	}
+	if ph.Count == 0 {
+		return ph, fmt.Errorf("phase needs count=N")
+	}
+	return ph, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(s, 0, 64)
+}

@@ -1,0 +1,158 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/sim"
+)
+
+const sample = `
+# two IPs: a video pipeline and a DMA engine
+[iptg video]
+width = 8
+seed  = 42
+
+[agent video/stream]
+phase       = count=1000 gap=2 burst=8..16 read=0.9
+phase       = count=500  gap=30 burst=4..8 read=0.9
+outstanding = 4
+region      = 0x100000 0x80000
+pattern     = seq
+msglen      = 4
+prio        = 2
+posted      = true
+
+[agent video/ctrl]
+phase  = count=50 gap=100 burst=1 read=1.0
+after  = stream 100
+
+[iptg dma]
+width = 4
+
+[agent dma/copy]
+phase   = count=200 gap=0 burst=16 read=0.5
+pattern = stride
+stride  = 0x400
+`
+
+func TestParseSample(t *testing.T) {
+	cfgs, err := ParseIPTGString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d IPs, want 2", len(cfgs))
+	}
+	// sorted by name: dma, video
+	dma, video := cfgs[0], cfgs[1]
+	if dma.Name != "dma" || video.Name != "video" {
+		t.Fatalf("names: %q %q", dma.Name, video.Name)
+	}
+	if video.BytesPerBeat != 8 || video.Seed != 42 {
+		t.Fatalf("video header: %+v", video)
+	}
+	if len(video.Agents) != 2 {
+		t.Fatalf("video agents = %d", len(video.Agents))
+	}
+	st := video.Agents[0]
+	if st.Name != "stream" {
+		t.Fatalf("agent name %q", st.Name)
+	}
+	if len(st.Phases) != 2 {
+		t.Fatalf("phases = %d", len(st.Phases))
+	}
+	p0 := st.Phases[0]
+	if p0.Count != 1000 || p0.GapMean != 2 || p0.BurstMin != 8 || p0.BurstMax != 16 || p0.ReadFrac != 0.9 {
+		t.Fatalf("phase 0: %+v", p0)
+	}
+	if st.Outstanding != 4 || st.RegionBase != 0x100000 || st.RegionSize != 0x80000 {
+		t.Fatalf("stream agent: %+v", st)
+	}
+	if st.Pattern != iptg.Sequential || st.MsgLen != 4 || st.Prio != 2 || !st.PostedWrites {
+		t.Fatalf("stream agent flags: %+v", st)
+	}
+	ctrl := video.Agents[1]
+	if ctrl.After != "stream" || ctrl.AfterCount != 100 {
+		t.Fatalf("ctrl sync: %+v", ctrl)
+	}
+	if ctrl.Phases[0].BurstMin != 1 || ctrl.Phases[0].BurstMax != 1 {
+		t.Fatalf("single-valued burst: %+v", ctrl.Phases[0])
+	}
+	cp := dma.Agents[0]
+	if cp.Pattern != iptg.Strided || cp.Stride != 0x400 {
+		t.Fatalf("dma agent: %+v", cp)
+	}
+}
+
+func TestParsedConfigsBuildGenerators(t *testing.T) {
+	cfgs, err := ParseIPTGString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parsed configs must pass iptg validation.
+	clk := sim.NewKernel().NewClock("c", 100)
+	for _, cfg := range cfgs {
+		if _, err := iptg.New(cfg, clk, &bus.IDSource{}, 0); err != nil {
+			t.Errorf("config %q invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no-section", "width = 8", "outside any section"},
+		{"bad-section", "[iptg", "unterminated"},
+		{"unnamed-section", "[iptg]", "needs a name"},
+		{"unknown-kind", "[bus b0]", "unknown section kind"},
+		{"agent-no-slash", "[iptg a]\n[agent a]", "must be IP/AGENT"},
+		{"agent-unknown-ip", "[agent ghost/a]", "unknown iptg"},
+		{"dup-iptg", "[iptg a]\n[iptg a]", "duplicate"},
+		{"bad-kv", "[iptg a]\nwidth 8", "key = value"},
+		{"unknown-iptg-key", "[iptg a]\ncolor = red", "unknown iptg key"},
+		{"unknown-agent-key", "[iptg a]\n[agent a/x]\ncolor = red", "unknown agent key"},
+		{"bad-width", "[iptg a]\nwidth = eight", "width"},
+		{"bad-region", "[iptg a]\n[agent a/x]\nregion = 0x1000", "region"},
+		{"bad-pattern", "[iptg a]\n[agent a/x]\npattern = zigzag", "unknown pattern"},
+		{"bad-posted", "[iptg a]\n[agent a/x]\nposted = maybe", "boolean"},
+		{"bad-after", "[iptg a]\n[agent a/x]\nafter = b", "AGENT COUNT"},
+		{"phase-no-count", "[iptg a]\n[agent a/x]\nphase = gap=1", "count"},
+		{"phase-bad-token", "[iptg a]\n[agent a/x]\nphase = count=1 zap", "bad token"},
+		{"phase-unknown-key", "[iptg a]\n[agent a/x]\nphase = count=1 jitter=2", "unknown phase key"},
+		{"phase-bad-burst", "[iptg a]\n[agent a/x]\nphase = count=1 burst=a..b", "burst"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseIPTGString(tc.text)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	cfgs, err := ParseIPTGString("\n# top comment\n[iptg a]  # trailing\nwidth = 8 # another\n\n[agent a/x]\nphase = count=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 || cfgs[0].BytesPerBeat != 8 {
+		t.Fatalf("parsed: %+v", cfgs)
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ParseIPTGString("[iptg a]\nwidth = 8\nbogus line without equals here no")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v should carry line 3", err)
+	}
+}

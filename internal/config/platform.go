@@ -1,0 +1,170 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpsocsim/internal/platform"
+	"mpsocsim/internal/stbus"
+)
+
+// ParsePlatform reads a platform specification file:
+//
+//	[platform]
+//	protocol  = stbus          # stbus | ahb | axi
+//	topology  = distributed    # distributed | collapsed
+//	memory    = lmi            # onchip | lmi
+//	waitstates = 1             # on-chip memory wait states
+//	stbustype = 3              # 1 | 2 | 3
+//	scale     = 1.0
+//	seed      = 1
+//	twophase  = false
+//	splitlmi  = false
+//	dsp       = true
+//	messaging = true
+//
+// Unset keys keep platform.DefaultSpec values. '#' and ';' start comments.
+func ParsePlatform(r io.Reader) (platform.Spec, error) {
+	spec := platform.DefaultSpec()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	inSection := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if line != "[platform]" {
+				return spec, fmt.Errorf("line %d: unknown section %q (only [platform] is valid here)", lineNo, line)
+			}
+			inSection = true
+			continue
+		}
+		if !inSection {
+			return spec, fmt.Errorf("line %d: key outside [platform] section", lineNo)
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return spec, fmt.Errorf("line %d: expected key = value", lineNo)
+		}
+		if err := platformKey(&spec, strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return spec, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return spec, err
+	}
+	if !inSection {
+		return spec, fmt.Errorf("no [platform] section found")
+	}
+	return spec, nil
+}
+
+// ParsePlatformString is ParsePlatform over a string.
+func ParsePlatformString(s string) (platform.Spec, error) {
+	return ParsePlatform(strings.NewReader(s))
+}
+
+func platformKey(spec *platform.Spec, key, val string) error {
+	switch key {
+	case "protocol":
+		switch val {
+		case "stbus":
+			spec.Protocol = platform.STBus
+		case "ahb":
+			spec.Protocol = platform.AHB
+		case "axi":
+			spec.Protocol = platform.AXI
+		default:
+			return fmt.Errorf("unknown protocol %q", val)
+		}
+	case "topology":
+		switch val {
+		case "distributed":
+			spec.Topology = platform.Distributed
+		case "collapsed":
+			spec.Topology = platform.Collapsed
+		default:
+			return fmt.Errorf("unknown topology %q", val)
+		}
+	case "memory":
+		switch val {
+		case "onchip":
+			spec.Memory = platform.OnChip
+		case "lmi":
+			spec.Memory = platform.LMIDDR
+		default:
+			return fmt.Errorf("unknown memory kind %q", val)
+		}
+	case "waitstates":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("waitstates wants a non-negative integer, got %q", val)
+		}
+		spec.OnChipWaitStates = n
+	case "stbustype":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || n > 3 {
+			return fmt.Errorf("stbustype wants 1..3, got %q", val)
+		}
+		spec.STBusType = stbus.Type(n)
+	case "scale":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("scale wants a positive number, got %q", val)
+		}
+		spec.WorkloadScale = f
+	case "seed":
+		n, err := strconv.ParseUint(val, 0, 64)
+		if err != nil {
+			return fmt.Errorf("seed: %q", val)
+		}
+		spec.Seed = n
+	case "twophase":
+		b, err := parseBool(val)
+		if err != nil {
+			return err
+		}
+		spec.TwoPhase = b
+	case "splitlmi":
+		b, err := parseBool(val)
+		if err != nil {
+			return err
+		}
+		spec.SplitLMIBridge = b
+	case "dsp":
+		b, err := parseBool(val)
+		if err != nil {
+			return err
+		}
+		spec.WithDSP = b
+	case "messaging":
+		b, err := parseBool(val)
+		if err != nil {
+			return err
+		}
+		spec.NoMessageArbitration = !b
+	default:
+		return fmt.Errorf("unknown platform key %q", key)
+	}
+	return nil
+}
+
+func parseBool(val string) (bool, error) {
+	switch val {
+	case "true", "yes", "1":
+		return true, nil
+	case "false", "no", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("expected a boolean, got %q", val)
+}

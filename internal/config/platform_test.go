@@ -1,0 +1,98 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"mpsocsim/internal/platform"
+	"mpsocsim/internal/stbus"
+)
+
+func TestParsePlatform(t *testing.T) {
+	spec, err := ParsePlatformString(`
+# comment
+[platform]
+protocol   = ahb
+topology   = collapsed
+memory     = onchip
+waitstates = 4
+stbustype  = 2
+scale      = 0.5
+seed       = 42
+twophase   = yes
+splitlmi   = true
+dsp        = false
+messaging  = no
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Protocol != platform.AHB || spec.Topology != platform.Collapsed || spec.Memory != platform.OnChip {
+		t.Fatalf("spec: %+v", spec)
+	}
+	if spec.OnChipWaitStates != 4 || spec.STBusType != stbus.Type2 {
+		t.Fatalf("spec: %+v", spec)
+	}
+	if spec.WorkloadScale != 0.5 || spec.Seed != 42 {
+		t.Fatalf("spec: %+v", spec)
+	}
+	if !spec.TwoPhase || !spec.SplitLMIBridge || spec.WithDSP || !spec.NoMessageArbitration {
+		t.Fatalf("spec flags: %+v", spec)
+	}
+}
+
+func TestParsePlatformDefaults(t *testing.T) {
+	spec, err := ParsePlatformString("[platform]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := platform.DefaultSpec()
+	if spec.Protocol != def.Protocol || spec.Memory != def.Memory {
+		t.Fatalf("defaults not preserved: %+v", spec)
+	}
+}
+
+func TestParsePlatformBuilds(t *testing.T) {
+	spec, err := ParsePlatformString("[platform]\nprotocol = axi\nscale = 0.05\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Run(2e11)
+	if !r.Done {
+		t.Fatal("parsed platform did not drain")
+	}
+}
+
+func TestParsePlatformErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no-section", "protocol = stbus", "outside"},
+		{"missing-section", "# nothing", "no [platform] section"},
+		{"wrong-section", "[chip]", "unknown section"},
+		{"bad-kv", "[platform]\nprotocol stbus", "key = value"},
+		{"bad-protocol", "[platform]\nprotocol = pci", "unknown protocol"},
+		{"bad-topology", "[platform]\ntopology = ring", "unknown topology"},
+		{"bad-memory", "[platform]\nmemory = sram", "unknown memory"},
+		{"bad-waits", "[platform]\nwaitstates = -1", "waitstates"},
+		{"bad-type", "[platform]\nstbustype = 5", "stbustype"},
+		{"bad-scale", "[platform]\nscale = 0", "scale"},
+		{"bad-seed", "[platform]\nseed = x", "seed"},
+		{"bad-bool", "[platform]\ndsp = maybe", "boolean"},
+		{"unknown-key", "[platform]\ncolor = blue", "unknown platform key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePlatformString(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v should contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package dspcore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the core's textual assembly into a Program. The format is
+// one VLIW bundle per line, slots separated by '|':
+//
+//	; stream copy kernel
+//	.base 0x8000000
+//	        alu r1, r0, r0, 100      ; iteration count
+//	        alu r2, r0, r0, 0x1000   ; src
+//	loop:   ld  r4, r2, 0 | alu r2, r2, r0, 32
+//	        st  r2, 8     | alu r1, r1, r0, -1
+//	        br  r1, loop
+//	        halt
+//
+// Mnemonics: alu DST, SRC1, SRC2, IMM ; ld DST, ADDRREG, IMM ;
+// st ADDRREG, IMM ; br CONDREG, LABEL ; nop ; halt.
+// ';' or '#' start comments. '.base ADDR' sets the program base address.
+// Labels (identifier + ':') may prefix a bundle or stand alone.
+func Assemble(r io.Reader) (Program, error) {
+	type pending struct {
+		bundle int
+		slot   int
+		label  string
+		line   int
+	}
+	prog := Program{Base: 0x0800_0000}
+	labels := map[string]int64{}
+	var fixups []pending
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".base") {
+			v, err := parseImm(strings.TrimSpace(strings.TrimPrefix(line, ".base")))
+			if err != nil {
+				return prog, fmt.Errorf("line %d: .base: %w", lineNo, err)
+			}
+			prog.Base = uint64(v)
+			continue
+		}
+		// peel leading labels
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			candidate := strings.TrimSpace(line[:i])
+			if !isIdent(candidate) {
+				break
+			}
+			if _, dup := labels[candidate]; dup {
+				return prog, fmt.Errorf("line %d: duplicate label %q", lineNo, candidate)
+			}
+			labels[candidate] = int64(len(prog.Bundles))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		slots := strings.Split(line, "|")
+		if len(slots) > BundleWidth {
+			return prog, fmt.Errorf("line %d: %d slots exceed bundle width %d", lineNo, len(slots), BundleWidth)
+		}
+		var b Bundle
+		for si, slot := range slots {
+			instr, labelRef, err := parseInstr(strings.TrimSpace(slot))
+			if err != nil {
+				return prog, fmt.Errorf("line %d slot %d: %w", lineNo, si+1, err)
+			}
+			b[si] = instr
+			if labelRef != "" {
+				fixups = append(fixups, pending{
+					bundle: len(prog.Bundles), slot: si, label: labelRef, line: lineNo,
+				})
+			}
+		}
+		prog.Bundles = append(prog.Bundles, b)
+	}
+	if err := sc.Err(); err != nil {
+		return prog, err
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return prog, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		prog.Bundles[f.bundle][f.slot].Imm = target
+	}
+	if err := prog.Validate(); err != nil {
+		return prog, err
+	}
+	return prog, nil
+}
+
+// AssembleString is Assemble over a string.
+func AssembleString(s string) (Program, error) {
+	return Assemble(strings.NewReader(s))
+}
+
+// MustAssemble panics on assembly errors, for static kernels in examples.
+func MustAssemble(s string) Program {
+	p, err := AssembleString(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseInstr parses one slot; for branches it returns the label reference
+// to resolve later (empty when the operand is numeric).
+func parseInstr(s string) (Instr, string, error) {
+	if s == "" {
+		return Instr{}, "", nil // empty slot = NOP
+	}
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i:])
+	}
+	args := splitArgs(rest)
+	switch strings.ToLower(mnemonic) {
+	case "nop":
+		if len(args) != 0 {
+			return Instr{}, "", fmt.Errorf("nop takes no operands")
+		}
+		return Instr{Kind: OpNop}, "", nil
+	case "halt":
+		if len(args) != 0 {
+			return Instr{}, "", fmt.Errorf("halt takes no operands")
+		}
+		return Instr{Kind: OpHalt}, "", nil
+	case "alu":
+		if len(args) != 4 {
+			return Instr{}, "", fmt.Errorf("alu wants DST, SRC1, SRC2, IMM")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		s2, err := parseReg(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[3])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Kind: OpALU, Dst: dst, Src1: s1, Src2: s2, Imm: imm}, "", nil
+	case "ld":
+		if len(args) != 3 {
+			return Instr{}, "", fmt.Errorf("ld wants DST, ADDRREG, IMM")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		a, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Kind: OpLoad, Dst: dst, Src1: a, Imm: imm}, "", nil
+	case "st":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("st wants ADDRREG, IMM")
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Kind: OpStore, Src1: a, Imm: imm}, "", nil
+	case "br":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("br wants CONDREG, LABEL")
+		}
+		c, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if isIdent(args[1]) {
+			return Instr{Kind: OpBranch, Src1: c}, args[1], nil
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Kind: OpBranch, Src1: c, Imm: imm}, "", nil
+	default:
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 8)
+	if err != nil || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

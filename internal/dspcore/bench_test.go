@@ -1,0 +1,33 @@
+package dspcore
+
+import (
+	"testing"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/mem"
+	"mpsocsim/internal/sim"
+	"mpsocsim/internal/stbus"
+)
+
+// BenchmarkISSThroughput measures simulated instructions per wall-clock
+// second on a cache-friendly kernel.
+func BenchmarkISSThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	clk := k.NewClock("cpu", 400)
+	core := MustNew(DefaultConfig("c"), ComputeKernel(0x1000, 1<<40), clk, &bus.IDSource{}, 0)
+	node := stbus.NewNode("n", stbus.Config{Type: stbus.Type3, BytesPerBeat: 4}, bus.Single(0))
+	m := mem.New("m", mem.DefaultConfig())
+	node.AttachInitiator(core.Port())
+	node.AttachTarget(m.Port())
+	clk.Register(core)
+	clk.Register(node)
+	clk.Register(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+	b.StopTimer()
+	if cy := core.Stats().Cycles; cy > 0 {
+		b.ReportMetric(float64(core.Stats().Instrs)/float64(cy), "instr/cycle")
+	}
+}

@@ -1,0 +1,124 @@
+package dspcore
+
+import "fmt"
+
+// CacheConfig sizes a cache.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// valid reports whether the configuration is a power-of-two geometry.
+func (c CacheConfig) validate(name string) error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("dspcore: %s cache: non-positive geometry %+v", name, c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("dspcore: %s cache: size %d not divisible by line*ways", name, c.SizeBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("dspcore: %s cache: line size %d not a power of two", name, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("dspcore: %s cache: set count %d not a power of two", name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	age   uint64 // LRU timestamp
+}
+
+// cache is a set-associative write-back, write-allocate cache (timing only).
+type cache struct {
+	cfg      CacheConfig
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+
+	tick       uint64
+	hits       int64
+	misses     int64
+	writebacks int64
+}
+
+func newCache(name string, cfg CacheConfig) (*cache, error) {
+	if err := cfg.validate(name); err != nil {
+		return nil, err
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &cache{
+		cfg:     cfg,
+		sets:    make([][]line, nSets),
+		setMask: uint64(nSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineBits++
+	}
+	return c, nil
+}
+
+// lineAddr returns the line-aligned address.
+func (c *cache) lineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+// access looks up addr; on a miss it allocates a line (LRU victim) and
+// returns the dirty victim's line address for write-back, if any. write
+// marks the line dirty on both hit and miss (write-allocate).
+func (c *cache) access(addr uint64, write bool) (hit bool, writeback uint64, hasWB bool) {
+	c.tick++
+	setIdx := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].age = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.hits++
+			return true, 0, false
+		}
+	}
+	c.misses++
+	// choose LRU victim
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].age < set[victim].age {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && v.dirty {
+		// the stored tag is addr>>lineBits (set bits included), so the
+		// victim's line address reconstructs directly
+		writeback = v.tag << c.lineBits
+		hasWB = true
+		c.writebacks++
+	}
+	v.tag = tag
+	v.valid = true
+	v.dirty = write
+	v.age = c.tick
+	return false, writeback, hasWB
+}
+
+// flushStats resets counters (not contents).
+func (c *cache) hitRate() float64 {
+	tot := c.hits + c.misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(tot)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mpsocsim/internal/stbus"
+)
+
+func TestAblationMessaging(t *testing.T) {
+	r := AblationMessaging(small)
+	worst := r.Cells[0][0] // no messaging, FCFS controller
+	best := r.Cells[1][1]  // messaging + optimizer
+	if best >= worst {
+		t.Errorf("messaging+optimizer (%d) should beat the bare corner (%d)", best, worst)
+	}
+	// either mechanism alone should improve on the bare corner
+	if r.Cells[0][1] > worst || r.Cells[1][0] > worst {
+		t.Errorf("single mechanisms should not be worse than none: %+v", r.Cells)
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "messaging, optimizing controller") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationSTBusTypes(t *testing.T) {
+	s := AblationSTBusTypes(small)
+	byName := map[string]Entry{}
+	for _, e := range s.Entries {
+		byName[e.Name] = e
+	}
+	if float64(byName["Type 1"].Cycles) < 1.3*float64(byName["Type 3"].Cycles) {
+		t.Errorf("Type 1 (%d) should trail Type 3 (%d) badly", byName["Type 1"].Cycles, byName["Type 3"].Cycles)
+	}
+	if float64(byName["Type 2"].Cycles) > 1.25*float64(byName["Type 3"].Cycles) {
+		t.Errorf("Type 2 (%d) should be close to Type 3 (%d)", byName["Type 2"].Cycles, byName["Type 3"].Cycles)
+	}
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationSDRvsDDR(t *testing.T) {
+	s := AblationSDRvsDDR(small)
+	if len(s.Entries) != 2 {
+		t.Fatalf("entries = %d", len(s.Entries))
+	}
+	ddr, sdr := s.Entries[0].Cycles, s.Entries[1].Cycles
+	if sdr <= ddr {
+		t.Errorf("SDR (%d) should be slower than DDR (%d)", sdr, ddr)
+	}
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeLatencySweep(t *testing.T) {
+	r := BridgeLatencySweep(small, []int{1, 16})
+	if len(r.Cycles) != 2 {
+		t.Fatalf("points = %d", len(r.Cycles))
+	}
+	// Deep bridges cost something but the split pipeline hides most of it:
+	// expect less than proportional slowdown (16x latency, < 1.5x time).
+	ratio := float64(r.Cycles[1]) / float64(r.Cycles[0])
+	if ratio < 1.0 {
+		t.Logf("deep bridges came out faster (%.3f) — within noise", ratio)
+	}
+	if ratio > 1.5 {
+		t.Errorf("split bridges should hide most of the extra latency, ratio %.3f", ratio)
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTBusTypeLadderUsesAllTypes(t *testing.T) {
+	// guard against the ablation silently running one type
+	if stbus.Type1 == stbus.Type3 {
+		t.Fatal("impossible")
+	}
+	s := AblationSTBusTypes(small)
+	if len(s.Entries) != 3 {
+		t.Fatalf("entries = %d", len(s.Entries))
+	}
+}
+
+func TestLatencyReport(t *testing.T) {
+	r := Latency(small)
+	if !r.Result.Done {
+		t.Fatal("latency run did not drain")
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Latency decomposition", "decoder/ref_fetch", "n5_dma_br", "memory subsystem utilization"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpsocsim/internal/platform"
+	"mpsocsim/internal/stats"
+)
+
+// LatencyReport decomposes end-to-end transaction latency on the reference
+// platform: per-IP end-to-end figures, per-bridge residency (the time each
+// transaction spends between bridge acceptance and its last upstream
+// response) and the memory-subsystem utilization — the bottleneck-location
+// analysis the paper's §5 performs by monitoring the LMI interface.
+type LatencyReport struct {
+	Result platform.Result
+}
+
+// Latency runs the reference platform and collects the decomposition.
+func Latency(o Options) LatencyReport {
+	o.normalize()
+	s := baseSpec(o)
+	s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
+	return LatencyReport{Result: runPlatform(s)}
+}
+
+// Write renders the report.
+func (r LatencyReport) Write(w io.Writer) error {
+	fmt.Fprintln(w, "== Latency decomposition — full STBus platform, LMI + DDR ==")
+	fmt.Fprintln(w, "End-to-end latency per IP agent (initiator-clock cycles), then each")
+	fmt.Fprintln(w, "bridge's residency share (acceptance to last upstream response).")
+	fmt.Fprintln(w)
+	tbl := stats.NewTable("ip/agent", "completed", "mean_lat", "p90_lat", "max_lat")
+	for _, name := range stats.SortedKeys(r.Result.IPs) {
+		for _, a := range r.Result.IPs[name] {
+			if a.Completed == 0 || a.MeanLatency == 0 {
+				continue // posted-write-only agents have no response latency
+			}
+			tbl.AddRow(name+"/"+a.Name, fmt.Sprint(a.Completed),
+				fmt.Sprintf("%.1f", a.MeanLatency), fmt.Sprint(a.P90Latency), fmt.Sprint(a.MaxLatency))
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	btbl := stats.NewTable("bridge", "accepted", "mean_res", "p90_res", "blocked_cycles")
+	for _, name := range stats.SortedKeys(r.Result.Bridges) {
+		b := r.Result.Bridges[name]
+		btbl.AddRow(name, fmt.Sprint(b.Accepted), fmt.Sprintf("%.1f", b.MeanResidency),
+			fmt.Sprint(b.P90Residency), fmt.Sprint(b.BlockedCycles))
+	}
+	if err := btbl.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmemory subsystem utilization: %.1f%%  (LMI served=%d, row-hit=%.1f%%)\n\n",
+		100*r.Result.MemUtilization, r.Result.LMI.Served, 100*r.Result.LMI.SDRAM.HitRate())
+	return nil
+}

@@ -1,0 +1,347 @@
+package iptg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/mem"
+	"mpsocsim/internal/sim"
+	"mpsocsim/internal/stbus"
+)
+
+func onePhase(count int64, gap float64, bmin, bmax int, readFrac float64) []Phase {
+	return []Phase{{Count: count, GapMean: gap, BurstMin: bmin, BurstMax: bmax, ReadFrac: readFrac}}
+}
+
+// rig wires a generator to a memory through an STBus node.
+type rig struct {
+	k   *sim.Kernel
+	clk *sim.Clock
+	g   *Generator
+	m   *mem.Memory
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 250)
+	ids := &bus.IDSource{}
+	g, err := New(cfg, clk, ids, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := stbus.NewNode("n", stbus.DefaultConfig(), bus.Single(0))
+	m := mem.New("mem", mem.Config{WaitStates: 1, ReqDepth: 2, RespDepth: 4})
+	node.AttachInitiator(g.Port())
+	node.AttachTarget(m.Port())
+	clk.Register(g)
+	clk.Register(node)
+	clk.Register(m)
+	return &rig{k: k, clk: clk, g: g, m: m}
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if !r.k.RunWhile(func() bool { return !r.g.Done() }, 1e10) {
+		t.Fatalf("timeout: issued=%d completed=%d", r.g.Issued(), r.g.Completed())
+	}
+}
+
+func TestSingleAgentWorkloadCompletes(t *testing.T) {
+	cfg := Config{
+		Name: "ip0",
+		Agents: []AgentConfig{{
+			Name:   "dma",
+			Phases: onePhase(50, 2, 4, 8, 0.7),
+		}},
+		Seed: 1,
+	}
+	r := newRig(t, cfg)
+	r.run(t)
+	s := r.g.Stats()[0]
+	if s.Issued != 50 || s.Completed != 50 {
+		t.Fatalf("issued/completed = %d/%d, want 50/50", s.Issued, s.Completed)
+	}
+	if s.Reads+s.Writes != 50 {
+		t.Fatalf("reads+writes = %d", s.Reads+s.Writes)
+	}
+	if s.Reads == 0 || s.Writes == 0 {
+		t.Fatalf("mix not respected: r=%d w=%d", s.Reads, s.Writes)
+	}
+	if s.MeanLatency <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	mk := func() int64 {
+		cfg := Config{
+			Name:   "ip0",
+			Agents: []AgentConfig{{Name: "a", Phases: onePhase(40, 3, 2, 8, 0.5)}},
+			Seed:   42,
+		}
+		r := newRig(t, cfg)
+		r.run(t)
+		return r.clk.Cycles()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("same seed gave different execution times: %d vs %d", a, b)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	mk := func(seed uint64) int64 {
+		cfg := Config{
+			Name:   "ip0",
+			Agents: []AgentConfig{{Name: "a", Phases: onePhase(40, 5, 2, 8, 0.5)}},
+			Seed:   seed,
+		}
+		r := newRig(t, cfg)
+		r.run(t)
+		return r.clk.Cycles()
+	}
+	if mk(1) == mk(999) {
+		t.Log("different seeds produced identical times (possible but unlikely)")
+	}
+}
+
+func TestInterAgentSync(t *testing.T) {
+	cfg := Config{
+		Name: "pipe",
+		Agents: []AgentConfig{
+			{Name: "producer", Phases: onePhase(20, 1, 2, 2, 0)},
+			{Name: "consumer", Phases: onePhase(10, 1, 2, 2, 1), After: "producer", AfterCount: 15},
+		},
+		Seed: 3,
+	}
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 250)
+	g := MustNew(cfg, clk, &bus.IDSource{}, 0)
+	node := stbus.NewNode("n", stbus.DefaultConfig(), bus.Single(0))
+	m := mem.New("mem", mem.DefaultConfig())
+	node.AttachInitiator(g.Port())
+	node.AttachTarget(m.Port())
+	clk.Register(g)
+	clk.Register(node)
+	clk.Register(m)
+
+	var consumerStart int64 = -1
+	var producerReached int64 = -1
+	clk.Register(&sim.ClockedFunc{OnEval: func() {
+		st := g.Stats()
+		if producerReached < 0 && st[0].Completed >= 15 {
+			producerReached = clk.Cycles()
+		}
+		if consumerStart < 0 && st[1].Issued > 0 {
+			consumerStart = clk.Cycles()
+		}
+	}})
+	if !k.RunWhile(func() bool { return !g.Done() }, 1e10) {
+		t.Fatal("timeout")
+	}
+	if consumerStart < producerReached {
+		t.Fatalf("consumer started at %d before producer reached threshold at %d",
+			consumerStart, producerReached)
+	}
+}
+
+func TestPhasesAdvance(t *testing.T) {
+	cfg := Config{
+		Name: "ip",
+		Agents: []AgentConfig{{
+			Name: "a",
+			Phases: []Phase{
+				{Count: 10, GapMean: 0, BurstMin: 2, BurstMax: 2, ReadFrac: 1},
+				{Count: 10, GapMean: 20, BurstMin: 2, BurstMax: 2, ReadFrac: 1},
+			},
+		}},
+		Seed: 5,
+	}
+	r := newRig(t, cfg)
+	r.run(t)
+	s := r.g.Stats()[0]
+	if s.Issued != 20 {
+		t.Fatalf("issued = %d, want 20", s.Issued)
+	}
+	if s.CurrentPhase != 2 {
+		t.Fatalf("final phase = %d, want 2", s.CurrentPhase)
+	}
+}
+
+func TestMessageLabelling(t *testing.T) {
+	cfg := Config{
+		Name: "ip",
+		Agents: []AgentConfig{{
+			Name:   "a",
+			Phases: onePhase(9, 0, 1, 1, 1),
+			MsgLen: 3,
+		}},
+		Seed: 7,
+	}
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 250)
+	g := MustNew(cfg, clk, &bus.IDSource{}, 1)
+	// capture requests directly from the port
+	var reqs []*bus.Request
+	clk.Register(g)
+	clk.Register(&sim.ClockedFunc{OnEval: func() {
+		for g.Port().Req.CanPop() {
+			r := g.Port().Req.Pop()
+			reqs = append(reqs, r)
+			// answer immediately so the generator keeps going
+			g.Port().Resp.Push(bus.Beat{Req: r, Idx: r.Beats - 1, Last: true})
+		}
+	}})
+	k.RunWhile(func() bool { return !g.Done() }, 1e9)
+	if len(reqs) != 9 {
+		t.Fatalf("captured %d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		wantEnd := i%3 == 2
+		if r.MsgEnd != wantEnd {
+			t.Fatalf("req %d MsgEnd=%v, want %v", i, r.MsgEnd, wantEnd)
+		}
+	}
+	if reqs[0].MsgSeq == reqs[3].MsgSeq {
+		t.Fatal("distinct messages must have distinct MsgSeq")
+	}
+	if reqs[0].MsgSeq != reqs[1].MsgSeq {
+		t.Fatal("same message must share MsgSeq")
+	}
+}
+
+func TestAddressPatterns(t *testing.T) {
+	capture := func(p AddrPattern, stride uint64) []uint64 {
+		cfg := Config{
+			Name: "ip",
+			Agents: []AgentConfig{{
+				Name:       "a",
+				Phases:     onePhase(16, 0, 2, 2, 1),
+				Pattern:    p,
+				Stride:     stride,
+				RegionBase: 0x1000,
+				RegionSize: 0x1000,
+			}},
+			Seed: 11,
+		}
+		k := sim.NewKernel()
+		clk := k.NewClock("clk", 250)
+		g := MustNew(cfg, clk, &bus.IDSource{}, 1)
+		var addrs []uint64
+		clk.Register(g)
+		clk.Register(&sim.ClockedFunc{OnEval: func() {
+			for g.Port().Req.CanPop() {
+				r := g.Port().Req.Pop()
+				addrs = append(addrs, r.Addr)
+				g.Port().Resp.Push(bus.Beat{Req: r, Idx: r.Beats - 1, Last: true})
+			}
+		}})
+		k.RunWhile(func() bool { return !g.Done() }, 1e9)
+		return addrs
+	}
+
+	seq := capture(Sequential, 0)
+	for i := 1; i < 8; i++ {
+		if seq[i] != seq[i-1]+16 { // 2 beats x 8 bytes
+			t.Fatalf("sequential addresses not contiguous: %#x -> %#x", seq[i-1], seq[i])
+		}
+	}
+	str := capture(Strided, 0x100)
+	for i := 1; i < 8; i++ {
+		if str[i] != str[i-1]+0x100 {
+			t.Fatalf("strided addresses wrong: %#x -> %#x", str[i-1], str[i])
+		}
+	}
+	rnd := capture(Random, 0)
+	for _, a := range rnd {
+		if a < 0x1000 || a >= 0x2000 {
+			t.Fatalf("random address %#x out of region", a)
+		}
+	}
+}
+
+func TestPostedWritesCompleteAtIssue(t *testing.T) {
+	cfg := Config{
+		Name: "ip",
+		Agents: []AgentConfig{{
+			Name:         "w",
+			Phases:       onePhase(10, 0, 2, 2, 0),
+			PostedWrites: true,
+		}},
+		Seed: 13,
+	}
+	r := newRig(t, cfg)
+	r.run(t)
+	s := r.g.Stats()[0]
+	if s.Completed != 10 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := sim.NewKernel().NewClock("c", 100)
+	cases := []Config{
+		{Name: "noagents"},
+		{Name: "nophase", Agents: []AgentConfig{{Name: "a"}}},
+		{Name: "zerocount", Agents: []AgentConfig{{Name: "a", Phases: []Phase{{Count: 0}}}}},
+		{Name: "badfrac", Agents: []AgentConfig{{Name: "a", Phases: []Phase{{Count: 1, ReadFrac: 1.5}}}}},
+		{Name: "dup", Agents: []AgentConfig{
+			{Name: "a", Phases: onePhase(1, 0, 1, 1, 1)},
+			{Name: "a", Phases: onePhase(1, 0, 1, 1, 1)},
+		}},
+		{Name: "badsync", Agents: []AgentConfig{
+			{Name: "a", Phases: onePhase(1, 0, 1, 1, 1), After: "ghost"},
+		}},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg, clk, &bus.IDSource{}, 0); err == nil {
+			t.Errorf("config %q should be rejected", cfg.Name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{Name: "bad"}, sim.NewKernel().NewClock("c", 100), &bus.IDSource{}, 0)
+}
+
+func TestPatternString(t *testing.T) {
+	if Sequential.String() != "seq" || Strided.String() != "stride" || Random.String() != "rand" {
+		t.Fatal("pattern names wrong")
+	}
+	if AddrPattern(9).String() == "" {
+		t.Fatal("unknown pattern string empty")
+	}
+}
+
+// Property: for any agent configuration the generator issues exactly the
+// configured number of transactions and all complete.
+func TestPropertyWorkloadConservation(t *testing.T) {
+	prop := func(seed uint64, count8, out8, gap8 uint8, posted bool) bool {
+		count := int64(count8%30) + 1
+		cfg := Config{
+			Name: "p",
+			Agents: []AgentConfig{{
+				Name:         "a",
+				Phases:       onePhase(count, float64(gap8%8), 1, 8, 0.5),
+				Outstanding:  int(out8%4) + 1,
+				PostedWrites: posted,
+			}},
+			Seed: seed,
+		}
+		r := newRig(t, cfg)
+		if !r.k.RunWhile(func() bool { return !r.g.Done() }, 1e10) {
+			return false
+		}
+		s := r.g.Stats()[0]
+		return s.Issued == count && s.Completed == count
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

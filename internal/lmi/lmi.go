@@ -1,0 +1,424 @@
+// Package lmi models the LMI off-chip memory controller the paper reverse-
+// engineered from RTL waveforms (§3.1): an STBus-native target interface
+// with input and output FIFOs of tunable size, an optimization engine
+// performing opcode merging and variable-depth lookahead over the queued
+// transactions, and a command scheduler that drives an SDR/DDR SDRAM device
+// while meeting its timing specifications.
+//
+// Operation latencies are calibrated so that a typical read observes the
+// paper's ~11 bus cycles from request sampling to first read data
+// (pipeline front/back latency + tRCD + tCAS on the DDR device).
+//
+// The input FIFO of the bus interface is the monitored queue of the paper's
+// Fig.6: Monitor() exposes per-window fractions of cycles where the FIFO is
+// full, is storing a new request, or sees no incoming request, plus the
+// empty fraction.
+package lmi
+
+import (
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/sdram"
+	"mpsocsim/internal/stats"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// InputFifoDepth sizes the bus-interface input FIFO (the multi-slot
+	// FIFO of §4.2; Fig.6 monitors its state).
+	InputFifoDepth int
+	// OutputFifoDepth sizes the response FIFO toward the bus.
+	OutputFifoDepth int
+	// LookaheadDepth is the optimizer window over the input FIFO;
+	// 0 or 1 disables lookahead (strict FCFS).
+	LookaheadDepth int
+	// OpcodeMerging lets consecutive same-row same-opcode accesses skip
+	// the per-transaction command overhead, modelling the merged opcode
+	// sequences of the real engine.
+	OpcodeMerging bool
+	// FrontLatency/BackLatency are the back-annotated pipeline latencies
+	// (bus cycles) between the bus interface and the command engine, and
+	// between SDRAM data and the bus interface.
+	FrontLatency int
+	BackLatency  int
+	// CmdOverhead is the command-engine overhead per non-merged
+	// transaction, in cycles.
+	CmdOverhead int
+	// StarvationLimit bounds how many times lookahead may bypass the
+	// FIFO head before the head is forced (anti-starvation aging).
+	StarvationLimit int
+	// SDRAM configures the attached device.
+	SDRAM sdram.Config
+	// PhaseWindow is the Fig.6 monitor window size in cycles.
+	PhaseWindow int64
+}
+
+// DefaultConfig matches the platform's LMI instance: 4-deep input FIFO,
+// lookahead of 4 with opcode merging, DDR device, ~11-cycle first-word read
+// latency.
+func DefaultConfig() Config {
+	return Config{
+		InputFifoDepth:  4,
+		OutputFifoDepth: 8,
+		LookaheadDepth:  4,
+		OpcodeMerging:   true,
+		FrontLatency:    2,
+		BackLatency:     3,
+		CmdOverhead:     2,
+		StarvationLimit: 8,
+		SDRAM:           sdram.DefaultConfig(),
+		PhaseWindow:     2000,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.InputFifoDepth <= 0 {
+		c.InputFifoDepth = 4
+	}
+	if c.OutputFifoDepth <= 0 {
+		c.OutputFifoDepth = 8
+	}
+	if c.LookaheadDepth < 0 {
+		c.LookaheadDepth = 0
+	}
+	if c.FrontLatency < 0 {
+		c.FrontLatency = 0
+	}
+	if c.BackLatency < 0 {
+		c.BackLatency = 0
+	}
+	if c.CmdOverhead < 0 {
+		c.CmdOverhead = 0
+	}
+	if c.StarvationLimit <= 0 {
+		c.StarvationLimit = 8
+	}
+	if c.PhaseWindow <= 0 {
+		c.PhaseWindow = 2000
+	}
+}
+
+// servePhase tracks the command progress of the transaction being served.
+type servePhase int
+
+const (
+	phasePrep   servePhase = iota // precharge/activate toward the row
+	phaseAccess                   // waiting to issue the column access
+)
+
+// stream is a scheduled burst of response beats toward the bus.
+type stream struct {
+	req     *bus.Request
+	beats   int // total beats to emit (1 for a write ack)
+	emitted int
+	nextAt  int64 // controller cycle of the next beat
+	isAck   bool
+}
+
+// Controller is the LMI memory controller; it is a sim.Clocked component
+// owning its target port.
+type Controller struct {
+	name string
+	cfg  Config
+	port *bus.TargetPort
+	dev  *sdram.Device
+
+	now int64
+
+	// engine state
+	cur        *bus.Request
+	phase      servePhase
+	readyAt    int64 // command-engine gate (front latency / overhead)
+	bypassRuns int   // consecutive non-head selections (anti-starvation)
+	lastRowKey int64 // bank/row/op key of the last access, for merging
+	refreshing bool
+
+	// response streaming
+	streams []stream
+
+	// statistics
+	served       int64
+	reads        int64
+	writes       int64
+	mergedRuns   int64
+	lookaheadHit int64
+	latency      stats.Histogram // request pop -> first beat, bus cycles
+	busy         int64
+
+	monitor *Monitor
+}
+
+// New builds a controller with the given configuration.
+func New(name string, cfg Config) *Controller {
+	cfg.normalize()
+	c := &Controller{
+		name:       name,
+		cfg:        cfg,
+		port:       bus.NewTargetPort(name, cfg.InputFifoDepth, cfg.OutputFifoDepth),
+		dev:        sdram.New(cfg.SDRAM),
+		lastRowKey: -1,
+	}
+	c.monitor = newMonitor(cfg.PhaseWindow)
+	return c
+}
+
+// Port returns the bus-facing target port.
+func (c *Controller) Port() *bus.TargetPort { return c.port }
+
+// Name returns the controller instance name.
+func (c *Controller) Name() string { return c.name }
+
+// Device exposes the attached SDRAM device (for statistics).
+func (c *Controller) Device() *sdram.Device { return c.dev }
+
+// Monitor exposes the Fig.6 bus-interface monitor.
+func (c *Controller) Monitor() *Monitor { return c.monitor }
+
+// Eval advances the controller one bus cycle.
+func (c *Controller) Eval() {
+	c.now++
+	c.emitBeats()
+	c.handleRefresh()
+	if !c.refreshing {
+		if c.cur == nil {
+			c.selectNext()
+		}
+		if c.cur != nil {
+			c.advanceCommands()
+		}
+	}
+	if c.cur != nil || len(c.streams) > 0 {
+		c.busy++
+	}
+}
+
+// Update commits the port FIFOs and samples the Fig.6 monitor.
+func (c *Controller) Update() {
+	c.monitor.sample(c.port.Req)
+	c.port.Update()
+}
+
+// emitBeats pushes at most one response beat per cycle from the oldest
+// stream whose schedule has matured.
+func (c *Controller) emitBeats() {
+	if len(c.streams) == 0 {
+		return
+	}
+	s := &c.streams[0]
+	if c.now < s.nextAt || !c.port.Resp.CanPush() {
+		return
+	}
+	if s.isAck {
+		c.port.Resp.Push(bus.Beat{Req: s.req, Idx: 0, Last: true})
+	} else {
+		last := s.emitted == s.beats-1
+		c.port.Resp.Push(bus.Beat{Req: s.req, Idx: s.emitted, Last: last})
+	}
+	s.emitted++
+	s.nextAt = c.now + 1
+	if s.emitted >= s.beats {
+		c.streams = c.streams[1:]
+	}
+}
+
+// handleRefresh drives the auto-refresh protocol when due.
+func (c *Controller) handleRefresh() {
+	if !c.refreshing {
+		if !c.dev.RefreshDue(c.now) || c.cur != nil {
+			return
+		}
+		c.refreshing = true
+	}
+	// close all banks, then refresh
+	if c.dev.CanRefresh(c.now) {
+		c.dev.Refresh(c.now)
+		c.refreshing = false
+		c.lastRowKey = -1
+		return
+	}
+	for b := 0; b < c.cfg.SDRAM.Geometry.Banks; b++ {
+		if c.dev.OpenRow(b) != -1 && c.dev.CanPrecharge(b, c.now) {
+			c.dev.Precharge(b, c.now)
+		}
+	}
+}
+
+// selectNext applies variable-depth lookahead over the input FIFO: the first
+// row-hit entry (not bypassing any older entry from the same source) wins;
+// otherwise the head is served. Aging bounds how long the head can be
+// bypassed.
+func (c *Controller) selectNext() {
+	n := c.port.Req.Len()
+	if n == 0 {
+		return
+	}
+	window := 1
+	if c.cfg.LookaheadDepth > 1 {
+		window = c.cfg.LookaheadDepth
+	}
+	if window > n {
+		window = n
+	}
+	pick := 0
+	if window > 1 && c.bypassRuns < c.cfg.StarvationLimit {
+		for i := 0; i < window; i++ {
+			cand := c.port.Req.PeekAt(i)
+			if c.srcBlocked(cand, i) {
+				continue
+			}
+			if c.dev.IsRowHit(cand.Addr) {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick == 0 {
+		c.bypassRuns = 0
+		if c.dev.IsRowHit(c.port.Req.PeekAt(0).Addr) {
+			c.dev.NoteRowHit()
+		} else {
+			c.dev.NoteRowMiss()
+		}
+	} else {
+		c.bypassRuns++
+		c.lookaheadHit++
+		c.dev.NoteRowHit()
+	}
+	c.cur = c.port.Req.RemoveAt(pick)
+	c.phase = phasePrep
+	// front-end pipeline latency plus per-transaction command overhead
+	// (waived when merging with the previous access run).
+	gate := c.now + int64(c.cfg.FrontLatency)
+	if !c.merges(c.cur) {
+		gate += int64(c.cfg.CmdOverhead)
+	} else {
+		c.mergedRuns++
+	}
+	c.readyAt = gate
+	if c.cur.Op == bus.OpRead {
+		c.reads++
+	} else {
+		c.writes++
+	}
+}
+
+// srcBlocked reports whether an older queued entry shares cand's source, in
+// which case cand must not bypass it (per-source response order).
+func (c *Controller) srcBlocked(cand *bus.Request, idx int) bool {
+	for j := 0; j < idx; j++ {
+		if c.port.Req.PeekAt(j).Src == cand.Src {
+			return true
+		}
+	}
+	return false
+}
+
+// merges reports whether req continues the previous access run (same bank,
+// same row, same opcode) so opcode merging applies.
+func (c *Controller) merges(req *bus.Request) bool {
+	if !c.cfg.OpcodeMerging {
+		return false
+	}
+	return c.rowKey(req) == c.lastRowKey
+}
+
+// rowKey folds bank, row and opcode into one comparable value.
+func (c *Controller) rowKey(req *bus.Request) int64 {
+	bankRow := int64(c.dev.BankOf(req.Addr))<<40 | c.dev.RowOf(req.Addr)<<1
+	if req.Op == bus.OpWrite {
+		bankRow |= 1
+	}
+	return bankRow
+}
+
+// advanceCommands walks the current transaction through the SDRAM command
+// sequence.
+func (c *Controller) advanceCommands() {
+	if c.now < c.readyAt {
+		return
+	}
+	req := c.cur
+	bankIdx := c.dev.BankOf(req.Addr)
+	switch c.phase {
+	case phasePrep:
+		if c.dev.IsRowHit(req.Addr) {
+			c.phase = phaseAccess
+			c.advanceAccess(req)
+			return
+		}
+		if c.dev.OpenRow(bankIdx) != -1 {
+			if c.dev.CanPrecharge(bankIdx, c.now) {
+				c.dev.Precharge(bankIdx, c.now)
+			}
+			return
+		}
+		if c.dev.CanActivate(bankIdx, c.now) {
+			c.dev.Activate(bankIdx, c.dev.RowOf(req.Addr), c.now)
+			c.phase = phaseAccess
+		}
+	case phaseAccess:
+		c.advanceAccess(req)
+	}
+}
+
+// advanceAccess issues the column access once legal and schedules the
+// response stream.
+func (c *Controller) advanceAccess(req *bus.Request) {
+	if !c.dev.CanAccess(req.Addr, c.now) {
+		return
+	}
+	// convert bus beats to device columns
+	colBytes := c.cfg.SDRAM.Geometry.BytesPerCol
+	cols := (req.Bytes() + colBytes - 1) / colBytes
+	if cols < 1 {
+		cols = 1
+	}
+	firstData, busCycles := c.dev.Access(req.Addr, cols, req.Op == bus.OpWrite, c.now)
+	c.lastRowKey = c.rowKey(req)
+	c.served++
+	switch {
+	case req.Op == bus.OpRead:
+		first := firstData + int64(c.cfg.BackLatency)
+		c.latency.Add(first - req.IssueCycle) // end-to-end if same domain
+		c.streams = append(c.streams, stream{req: req, beats: req.Beats, nextAt: first})
+	case req.Posted:
+		// no response
+	default:
+		ackAt := firstData + busCycles + int64(c.cfg.BackLatency)
+		c.streams = append(c.streams, stream{req: req, beats: 1, nextAt: ackAt, isAck: true})
+	}
+	c.cur = nil
+}
+
+// Stats reports controller activity.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Served:        c.served,
+		Reads:         c.reads,
+		Writes:        c.writes,
+		MergedRuns:    c.mergedRuns,
+		LookaheadHits: c.lookaheadHit,
+		BusyCycles:    c.busy,
+		Cycles:        c.now,
+		SDRAM:         c.dev.Stats(),
+	}
+}
+
+// Stats summarizes controller activity.
+type Stats struct {
+	Served        int64
+	Reads         int64
+	Writes        int64
+	MergedRuns    int64
+	LookaheadHits int64
+	BusyCycles    int64
+	Cycles        int64
+	SDRAM         sdram.Stats
+}
+
+// Utilization returns the fraction of cycles the controller was active.
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Cycles)
+}

@@ -1,0 +1,170 @@
+// Package mem models the on-chip shared memory of the paper's architectural
+// variants: a single-ported target with a configurable number of wait states
+// and single-slot processing (one transaction in flight), so each data beat
+// costs 1+W cycles on the response channel — with W=1 this is exactly the
+// 50%-efficiency bound discussed in §4.1.2 of the paper.
+package mem
+
+import (
+	"fmt"
+
+	"mpsocsim/internal/bus"
+)
+
+// Config parameterizes an on-chip memory.
+type Config struct {
+	// WaitStates is the number of idle cycles before each data beat.
+	WaitStates int
+	// ReqDepth is the input FIFO depth of the bus interface. The paper's
+	// simple memory uses single-slot buffering (depth 1).
+	ReqDepth int
+	// RespDepth is the response FIFO depth.
+	RespDepth int
+}
+
+// DefaultConfig matches the paper's simple on-chip memory: 1 wait state,
+// single-slot buffering.
+func DefaultConfig() Config {
+	return Config{WaitStates: 1, ReqDepth: 1, RespDepth: 2}
+}
+
+// Memory is a sim.Clocked on-chip memory target. It owns its TargetPort and
+// commits the port FIFOs in its Update phase.
+type Memory struct {
+	name string
+	cfg  Config
+	port *bus.TargetPort
+
+	// in-flight transaction state
+	cur      *bus.Request
+	beatIdx  int
+	waitLeft int
+
+	// statistics
+	reads, writes   int64
+	beats           int64
+	busyCycles      int64
+	totalCycles     int64
+	acceptedPosted  int64
+	stalledRespPush int64
+}
+
+// New builds a memory with the given configuration.
+func New(name string, cfg Config) *Memory {
+	if cfg.WaitStates < 0 {
+		panic(fmt.Sprintf("mem: negative wait states for %q", name))
+	}
+	if cfg.ReqDepth <= 0 {
+		cfg.ReqDepth = 1
+	}
+	if cfg.RespDepth <= 0 {
+		cfg.RespDepth = 2
+	}
+	return &Memory{
+		name: name,
+		cfg:  cfg,
+		port: bus.NewTargetPort(name, cfg.ReqDepth, cfg.RespDepth),
+	}
+}
+
+// Port returns the target port a fabric attaches to.
+func (m *Memory) Port() *bus.TargetPort { return m.port }
+
+// Name returns the memory's instance name.
+func (m *Memory) Name() string { return m.name }
+
+// Eval advances the memory state machine one cycle.
+func (m *Memory) Eval() {
+	m.totalCycles++
+	if m.cur == nil {
+		if m.port.Req.CanPop() {
+			m.cur = m.port.Req.Pop()
+			m.beatIdx = 0
+			m.waitLeft = m.cfg.WaitStates
+			if m.cur.Op == bus.OpRead {
+				m.reads++
+			} else {
+				m.writes++
+			}
+		}
+		return
+	}
+	m.busyCycles++
+	if m.waitLeft > 0 {
+		m.waitLeft--
+		return
+	}
+	switch m.cur.Op {
+	case bus.OpRead:
+		// emit one data beat per (1+W) cycles
+		if !m.port.Resp.CanPush() {
+			m.stalledRespPush++
+			return
+		}
+		last := m.beatIdx == m.cur.Beats-1
+		m.port.Resp.Push(bus.Beat{Req: m.cur, Idx: m.beatIdx, Last: last})
+		m.beats++
+		m.beatIdx++
+		if last {
+			m.cur = nil
+		} else {
+			m.waitLeft = m.cfg.WaitStates
+		}
+	case bus.OpWrite:
+		// absorb one write beat per (1+W) cycles; ack (if non-posted)
+		// after the last beat.
+		m.beats++
+		m.beatIdx++
+		if m.beatIdx >= m.cur.Beats {
+			if m.cur.Posted {
+				m.acceptedPosted++
+				m.cur = nil
+				return
+			}
+			if !m.port.Resp.CanPush() {
+				m.stalledRespPush++
+				m.beatIdx-- // retry ack next cycle
+				m.beats--
+				return
+			}
+			m.port.Resp.Push(bus.Beat{Req: m.cur, Idx: 0, Last: true})
+			m.cur = nil
+		} else {
+			m.waitLeft = m.cfg.WaitStates
+		}
+	}
+}
+
+// Update commits the port FIFOs.
+func (m *Memory) Update() {
+	m.port.Update()
+}
+
+// Stats reports lifetime counters.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Reads:       m.reads,
+		Writes:      m.writes,
+		Beats:       m.beats,
+		BusyCycles:  m.busyCycles,
+		TotalCycles: m.totalCycles,
+	}
+}
+
+// Stats summarizes memory activity.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	Beats       int64
+	BusyCycles  int64
+	TotalCycles int64
+}
+
+// Utilization returns the fraction of cycles the memory was processing a
+// transaction.
+func (s Stats) Utilization() float64 {
+	if s.TotalCycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.TotalCycles)
+}

@@ -1,0 +1,202 @@
+package mem
+
+import (
+	"testing"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/sim"
+)
+
+// run builds a kernel with the memory on a 100 MHz clock, injects the given
+// requests through a feeding component, and collects response beats until n
+// beats arrive or the cycle budget runs out. It returns collected beats and
+// the cycle at which each arrived.
+func run(t *testing.T, cfg Config, reqs []*bus.Request, wantBeats int, budget int64) ([]bus.Beat, []int64) {
+	t.Helper()
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 100)
+	m := New("mem", cfg)
+	var got []bus.Beat
+	var at []int64
+	i := 0
+	feeder := &sim.ClockedFunc{
+		OnEval: func() {
+			if i < len(reqs) && m.Port().Req.CanPush() {
+				m.Port().Req.Push(reqs[i])
+				i++
+			}
+			for m.Port().Resp.CanPop() {
+				got = append(got, m.Port().Resp.Pop())
+				at = append(at, clk.Cycles())
+			}
+		},
+	}
+	clk.Register(feeder)
+	clk.Register(m)
+	k.RunWhile(func() bool { return len(got) < wantBeats }, budget*clk.PeriodPS())
+	return got, at
+}
+
+func req(id uint64, op bus.Op, beats int) *bus.Request {
+	return &bus.Request{ID: id, Op: op, Addr: 0x100 * id, Beats: beats, BytesPerBeat: 8}
+}
+
+func TestReadBurstBeatsAndOrder(t *testing.T) {
+	beats, _ := run(t, DefaultConfig(), []*bus.Request{req(1, bus.OpRead, 4)}, 4, 200)
+	if len(beats) != 4 {
+		t.Fatalf("got %d beats, want 4", len(beats))
+	}
+	for i, b := range beats {
+		if b.Idx != i {
+			t.Fatalf("beat %d has idx %d", i, b.Idx)
+		}
+		if b.Req.ID != 1 {
+			t.Fatalf("beat for wrong request %d", b.Req.ID)
+		}
+		if b.Last != (i == 3) {
+			t.Fatalf("beat %d Last=%v", i, b.Last)
+		}
+	}
+}
+
+func TestWaitStatesThrottleBeatRate(t *testing.T) {
+	// W=1: beats must be spaced 2 cycles apart (50% efficiency).
+	_, at1 := run(t, Config{WaitStates: 1, ReqDepth: 1, RespDepth: 2}, []*bus.Request{req(1, bus.OpRead, 4)}, 4, 200)
+	for i := 1; i < len(at1); i++ {
+		if gap := at1[i] - at1[i-1]; gap != 2 {
+			t.Fatalf("W=1 beat gap = %d, want 2", gap)
+		}
+	}
+	// W=0: beats back to back.
+	_, at0 := run(t, Config{WaitStates: 0, ReqDepth: 1, RespDepth: 2}, []*bus.Request{req(1, bus.OpRead, 4)}, 4, 200)
+	for i := 1; i < len(at0); i++ {
+		if gap := at0[i] - at0[i-1]; gap != 1 {
+			t.Fatalf("W=0 beat gap = %d, want 1", gap)
+		}
+	}
+	// W=3: gap 4.
+	_, at3 := run(t, Config{WaitStates: 3, ReqDepth: 1, RespDepth: 2}, []*bus.Request{req(1, bus.OpRead, 2)}, 2, 200)
+	if gap := at3[1] - at3[0]; gap != 4 {
+		t.Fatalf("W=3 beat gap = %d, want 4", gap)
+	}
+}
+
+func TestNonPostedWriteAck(t *testing.T) {
+	beats, _ := run(t, DefaultConfig(), []*bus.Request{req(1, bus.OpWrite, 4)}, 1, 200)
+	if len(beats) != 1 {
+		t.Fatalf("got %d ack beats, want 1", len(beats))
+	}
+	if !beats[0].Last {
+		t.Fatal("write ack must be Last")
+	}
+}
+
+func TestPostedWriteNoAck(t *testing.T) {
+	r := req(1, bus.OpWrite, 4)
+	r.Posted = true
+	// follow with a read so we can detect completion
+	beats, _ := run(t, DefaultConfig(), []*bus.Request{r, req(2, bus.OpRead, 1)}, 1, 300)
+	if len(beats) != 1 {
+		t.Fatalf("got %d beats, want 1 (read only)", len(beats))
+	}
+	if beats[0].Req.ID != 2 {
+		t.Fatalf("beat is for req %d, want the read (2): posted write must not ack", beats[0].Req.ID)
+	}
+}
+
+func TestSingleSlotBlocksSecondRequest(t *testing.T) {
+	// With ReqDepth=1 and single in-flight processing, a long read delays
+	// the second request's first beat by the full first transaction.
+	beats, at := run(t, Config{WaitStates: 1, ReqDepth: 1, RespDepth: 2},
+		[]*bus.Request{req(1, bus.OpRead, 4), req(2, bus.OpRead, 4)}, 8, 400)
+	if len(beats) != 8 {
+		t.Fatalf("got %d beats, want 8", len(beats))
+	}
+	// first 4 beats from req 1, next 4 from req 2 (strict order)
+	for i := 0; i < 4; i++ {
+		if beats[i].Req.ID != 1 || beats[i+4].Req.ID != 2 {
+			t.Fatal("responses interleaved; single-slot memory must serialize")
+		}
+	}
+	// gap between transactions includes second request's wait states
+	if at[4]-at[3] < 2 {
+		t.Fatalf("inter-transaction gap = %d, want >= 2", at[4]-at[3])
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 100)
+	m := New("mem", DefaultConfig())
+	done := 0
+	reqs := []*bus.Request{req(1, bus.OpRead, 2), req(2, bus.OpWrite, 2)}
+	i := 0
+	clk.Register(&sim.ClockedFunc{OnEval: func() {
+		if i < len(reqs) && m.Port().Req.CanPush() {
+			m.Port().Req.Push(reqs[i])
+			i++
+		}
+		for m.Port().Resp.CanPop() {
+			if m.Port().Resp.Pop().Last {
+				done++
+			}
+		}
+	}})
+	clk.Register(m)
+	k.RunWhile(func() bool { return done < 2 }, 1e9)
+	s := m.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 1/1", s.Reads, s.Writes)
+	}
+	if s.Beats != 4 {
+		t.Fatalf("beats = %d, want 4", s.Beats)
+	}
+	if u := s.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v out of (0,1]", u)
+	}
+}
+
+func TestUtilizationZeroCycles(t *testing.T) {
+	var s Stats
+	if s.Utilization() != 0 {
+		t.Fatal("zero-cycle utilization must be 0")
+	}
+}
+
+func TestRespBackpressureDoesNotDropBeats(t *testing.T) {
+	// Tiny response FIFO and a consumer that pops only every 5th cycle:
+	// all beats must still arrive, in order.
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 100)
+	m := New("mem", Config{WaitStates: 0, ReqDepth: 1, RespDepth: 1})
+	var got []bus.Beat
+	pushed := false
+	clk.Register(&sim.ClockedFunc{OnEval: func() {
+		if !pushed && m.Port().Req.CanPush() {
+			m.Port().Req.Push(req(1, bus.OpRead, 6))
+			pushed = true
+		}
+		if clk.Cycles()%5 == 0 && m.Port().Resp.CanPop() {
+			got = append(got, m.Port().Resp.Pop())
+		}
+	}})
+	clk.Register(m)
+	k.RunWhile(func() bool { return len(got) < 6 }, 1e9)
+	if len(got) != 6 {
+		t.Fatalf("got %d beats, want 6", len(got))
+	}
+	for i, b := range got {
+		if b.Idx != i {
+			t.Fatalf("beat order violated at %d: idx %d", i, b.Idx)
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeWaitStates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("bad", Config{WaitStates: -1})
+}

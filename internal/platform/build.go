@@ -1,0 +1,295 @@
+package platform
+
+import (
+	"fmt"
+
+	"mpsocsim/internal/ahb"
+	"mpsocsim/internal/axi"
+	"mpsocsim/internal/bridge"
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/dspcore"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/mem"
+	"mpsocsim/internal/sim"
+	"mpsocsim/internal/stbus"
+)
+
+// Clock frequencies of the reference platform (MHz).
+const (
+	CentralMHz = 250
+	ClusterMHz = 200
+	CPUMHz     = 400
+)
+
+// Platform is a fully assembled instance ready to Run.
+type Platform struct {
+	Spec       Spec
+	Kernel     *sim.Kernel
+	CentralClk *sim.Clock
+	CPUClk     *sim.Clock
+
+	centralFab bus.Fabric
+	clusterFab []bus.Fabric
+	gens       []*iptg.Generator
+	genCluster []string
+	bridges    map[string]*bridge.Bridge
+	core       *dspcore.Core
+
+	onchip *mem.Memory
+	ctrl   *lmi.Controller
+
+	ids bus.IDSource
+}
+
+// Build assembles a platform instance from the spec.
+func Build(spec Spec) (*Platform, error) {
+	spec.normalize()
+	p := &Platform{
+		Spec:    spec,
+		Kernel:  sim.NewKernel(),
+		bridges: map[string]*bridge.Bridge{},
+	}
+	p.CentralClk = p.Kernel.NewClock("central", CentralMHz)
+	p.centralFab = p.newFabric("n8")
+
+	if err := p.buildMemory(); err != nil {
+		return nil, err
+	}
+	if err := p.buildClusters(); err != nil {
+		return nil, err
+	}
+	if spec.WithDSP {
+		p.buildDSP()
+	}
+	// The central fabric evaluates after all its initiator-side feeders
+	// have been registered (registration order within a clock is the
+	// deterministic evaluation order; correctness is order-independent
+	// thanks to two-phase FIFOs).
+	p.CentralClk.Register(p.centralFab)
+	if p.onchip != nil {
+		p.CentralClk.Register(p.onchip)
+	}
+	if p.ctrl != nil {
+		p.CentralClk.Register(p.ctrl)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(spec Spec) *Platform {
+	p, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// newFabric constructs one interconnect layer of the spec's protocol. All
+// layers are memory-centric: every address decodes to target 0.
+func (p *Platform) newFabric(name string) bus.Fabric {
+	amap := bus.Single(0)
+	switch p.Spec.Protocol {
+	case AHB:
+		return ahb.New(name, ahb.Config{BytesPerBeat: 8}, amap)
+	case AXI:
+		return axi.New(name, axi.Config{MaxOutstanding: p.Spec.MaxOutstanding, BytesPerBeat: 8}, amap)
+	default:
+		return stbus.NewNode(name, stbus.Config{
+			Type:               p.Spec.STBusType,
+			MaxOutstanding:     p.Spec.MaxOutstanding,
+			MessageArbitration: !p.Spec.NoMessageArbitration,
+			BytesPerBeat:       8,
+		}, amap)
+	}
+}
+
+// clusterBridgeConfig returns the bridge used between a cluster layer and
+// the central node: the proprietary split-capable GenConv for STBus
+// platforms, the lightweight blocking implementation for AHB and AXI
+// (paper §3.2: those bridges "implement basic bridging functionality").
+func (p *Platform) clusterBridgeConfig() bridge.Config {
+	lat := p.Spec.BridgeLatency
+	if lat <= 0 {
+		lat = 1
+	}
+	if p.Spec.Protocol == STBus {
+		cfg := bridge.GenConv(lat)
+		cfg.MaxOutstanding = p.Spec.MaxOutstanding
+		return cfg
+	}
+	return bridge.Lightweight(lat)
+}
+
+// buildMemory attaches the selected memory subsystem to the central node.
+func (p *Platform) buildMemory() error {
+	switch p.Spec.Memory {
+	case OnChip:
+		p.onchip = mem.New("shmem", mem.Config{
+			WaitStates: p.Spec.OnChipWaitStates,
+			ReqDepth:   1, // single-slot buffering (paper §4.2)
+			RespDepth:  p.Spec.TargetRespDepth,
+		})
+		p.centralFab.AttachTarget(p.onchip.Port())
+		return nil
+	case LMIDDR:
+		cfg := p.Spec.LMI
+		p.ctrl = lmi.New("lmi", cfg)
+		if p.Spec.Protocol == STBus {
+			// the LMI is STBus-native: direct attach
+			p.centralFab.AttachTarget(p.ctrl.Port())
+			return nil
+		}
+		// Other protocols need a conversion bridge in front of the
+		// LMI's native STBus interface; whether it supports split
+		// transactions is the lever of §4.2.
+		var bcfg bridge.Config
+		if p.Spec.SplitLMIBridge {
+			bcfg = bridge.GenConv(1)
+			if p.Spec.Protocol == AHB {
+				// AHB consumes responses strictly in issue order
+				// (non-split bus): the split converter must reorder
+				// responses back into request order.
+				bcfg.InOrderUpstream = true
+			}
+		} else {
+			bcfg = bridge.Lightweight(1)
+		}
+		bcfg.SyncCycles = 0 // same clock domain
+		br := bridge.New("lmi_bridge", bcfg, p.CentralClk, p.CentralClk)
+		p.bridges["lmi_bridge"] = br
+		lmiNode := stbus.NewNode("lmi_node", stbus.Config{
+			Type: stbus.Type3, MaxOutstanding: 8, BytesPerBeat: 8,
+		}, bus.Single(0))
+		p.centralFab.AttachTarget(br.TargetPort())
+		lmiNode.AttachInitiator(br.InitiatorPort())
+		lmiNode.AttachTarget(p.ctrl.Port())
+		p.CentralClk.Register(br.TargetSide)
+		p.CentralClk.Register(br.InitiatorSide)
+		p.CentralClk.Register(lmiNode)
+		return nil
+	default:
+		return fmt.Errorf("platform: unknown memory kind %d", p.Spec.Memory)
+	}
+}
+
+// buildClusters instantiates the traffic-generating subsystem in the
+// selected topology.
+func (p *Platform) buildClusters() error {
+	clusters := referenceWorkload(p.Spec)
+	origin := 0
+	switch p.Spec.Topology {
+	case Collapsed:
+		// every actor directly on the central node
+		for _, cl := range clusters {
+			for _, ipCfg := range cl.ips {
+				gen, err := iptg.New(ipCfg, p.CentralClk, &p.ids, origin)
+				if err != nil {
+					return err
+				}
+				origin++
+				p.centralFab.AttachInitiator(gen.Port())
+				p.CentralClk.Register(gen)
+				p.gens = append(p.gens, gen)
+				p.genCluster = append(p.genCluster, cl.name)
+			}
+		}
+	case Distributed:
+		for _, cl := range clusters {
+			freq := cl.freqMHz
+			if freq <= 0 {
+				freq = ClusterMHz
+			}
+			clk := p.Kernel.NewClock(cl.name, freq)
+			fab := p.newFabric(cl.name)
+			br := bridge.New(cl.name+"_br", p.clusterBridgeConfig(), clk, p.CentralClk)
+			p.bridges[cl.name+"_br"] = br
+			fab.AttachTarget(br.TargetPort())
+			p.centralFab.AttachInitiator(br.InitiatorPort())
+			for _, ipCfg := range cl.ips {
+				gen, err := iptg.New(ipCfg, clk, &p.ids, origin)
+				if err != nil {
+					return err
+				}
+				origin++
+				fab.AttachInitiator(gen.Port())
+				clk.Register(gen)
+				p.gens = append(p.gens, gen)
+				p.genCluster = append(p.genCluster, cl.name)
+			}
+			clk.Register(fab)
+			clk.Register(br.TargetSide)
+			p.CentralClk.Register(br.InitiatorSide)
+			p.clusterFab = append(p.clusterFab, fab)
+		}
+	default:
+		return fmt.Errorf("platform: unknown topology %d", p.Spec.Topology)
+	}
+	return nil
+}
+
+// buildDSP adds the ST220-class core behind its upsize (32->64 bit) and
+// frequency (400->250 MHz) converter.
+func (p *Platform) buildDSP() {
+	const mb = 1 << 20
+	p.CPUClk = p.Kernel.NewClock("cpu", CPUMHz)
+	iters := p.Spec.DSPIterations
+	if iters <= 0 {
+		iters = 1 << 40 // effectively endless background interference
+	}
+	// Default 64 KiB working set per array: larger than the default
+	// 32 KiB D-cache, so the stream thrashes and interferes throughout.
+	ws := uint64(64 << 10)
+	if p.Spec.DSPWorkingSetKB > 0 {
+		ws = uint64(p.Spec.DSPWorkingSetKB) << 10
+	}
+	prog := dspcore.StreamKernelWS(30*mb, 34*mb, iters, 32, ws)
+	coreCfg := dspcore.DefaultConfig("st220")
+	if p.Spec.DSPDCacheKB > 0 {
+		coreCfg.DCache.SizeBytes = p.Spec.DSPDCacheKB << 10
+	}
+	p.core = dspcore.MustNew(coreCfg, prog, p.CPUClk, &p.ids, 1000)
+
+	var convCfg bridge.Config
+	if p.Spec.Protocol == STBus {
+		convCfg = bridge.GenConv(1)
+	} else {
+		convCfg = bridge.Lightweight(1)
+	}
+	convCfg.SrcBytesPerBeat = 4
+	convCfg.DstBytesPerBeat = 8
+	conv := bridge.New("st220_conv", convCfg, p.CPUClk, p.CentralClk)
+	p.bridges["st220_conv"] = conv
+
+	// A 1x1 node connects the core's initiator port to the converter's
+	// target side (point-to-point wiring at the core interface).
+	link := stbus.NewNode("st220_link", stbus.Config{
+		Type: stbus.Type3, MaxOutstanding: 4, BytesPerBeat: 4,
+	}, bus.Single(0))
+	link.AttachInitiator(p.core.Port())
+	link.AttachTarget(conv.TargetPort())
+	p.centralFab.AttachInitiator(conv.InitiatorPort())
+
+	p.CPUClk.Register(p.core)
+	p.CPUClk.Register(link)
+	p.CPUClk.Register(conv.TargetSide)
+	p.CentralClk.Register(conv.InitiatorSide)
+}
+
+// Generators returns the platform's traffic generators.
+func (p *Platform) Generators() []*iptg.Generator { return p.gens }
+
+// Core returns the DSP core (nil when WithDSP is false).
+func (p *Platform) Core() *dspcore.Core { return p.core }
+
+// Controller returns the LMI controller (nil for on-chip memory).
+func (p *Platform) Controller() *lmi.Controller { return p.ctrl }
+
+// OnChipMemory returns the shared memory (nil for the LMI variant).
+func (p *Platform) OnChipMemory() *mem.Memory { return p.onchip }
+
+// Bridge returns a bridge by name (nil if absent).
+func (p *Platform) Bridge(name string) *bridge.Bridge { return p.bridges[name] }
+
+// CentralFabric returns the central interconnect.
+func (p *Platform) CentralFabric() bus.Fabric { return p.centralFab }

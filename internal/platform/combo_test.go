@@ -1,0 +1,42 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsocsim/internal/stbus"
+)
+
+// TestNoDeadlockAcrossConfigurations sweeps a representative grid of
+// protocol / topology / memory / STBus-type / bridge configurations at tiny
+// scale and asserts every one drains — the progress watchdog turns any
+// deadlock into a fast failure instead of a burned time budget.
+func TestNoDeadlockAcrossConfigurations(t *testing.T) {
+	for proto := 0; proto < 3; proto++ {
+		for topo := 0; topo < 2; topo++ {
+			for _, typ := range []stbus.Type{stbus.Type1, stbus.Type3} {
+				for _, split := range []bool{false, true} {
+					s := DefaultSpec()
+					s.Protocol = Protocol(proto)
+					s.Topology = Topology(topo)
+					s.Memory = LMIDDR
+					s.STBusType = typ
+					s.SplitLMIBridge = split
+					s.WorkloadScale = 0.05
+					name := fmt.Sprintf("%s-%v-split%v", s.Name(), typ, split)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						p := MustBuild(s)
+						r := p.Run(2e11)
+						if r.Stalled {
+							t.Fatalf("deadlock (issued=%d completed=%d)", r.Issued, r.Completed)
+						}
+						if !r.Done {
+							t.Fatalf("budget exhausted (issued=%d completed=%d)", r.Issued, r.Completed)
+						}
+					})
+				}
+			}
+		}
+	}
+}

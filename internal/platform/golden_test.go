@@ -1,0 +1,72 @@
+package platform
+
+import (
+	"testing"
+	tq "testing/quick"
+
+	"mpsocsim/internal/stbus"
+)
+
+// TestGoldenCycleCounts pins exact execution times for three reference
+// configurations. These are regression anchors: the simulator is fully
+// deterministic, so any change to these numbers means a behavioural change
+// in some component — verify it is intentional (and re-baseline) before
+// updating the constants.
+func TestGoldenCycleCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		spec func() Spec
+		want int64
+	}{
+		{
+			name: "stbus-distributed-lmi",
+			spec: func() Spec { return quick(STBus, Distributed, LMIDDR) },
+			want: 12388,
+		},
+		{
+			name: "ahb-distributed-onchip",
+			spec: func() Spec { return quick(AHB, Distributed, OnChip) },
+			want: 25805,
+		},
+		{
+			name: "axi-collapsed-lmi",
+			spec: func() Spec { return quick(AXI, Collapsed, LMIDDR) },
+			want: 37541,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := runCycles(t, tc.spec())
+			if r.CentralCycles != tc.want {
+				t.Errorf("golden cycle count drifted: got %d, want %d (re-baseline only if the change is intentional)",
+					r.CentralCycles, tc.want)
+			}
+		})
+	}
+}
+
+// Property: any valid spec combination at small scale builds, drains, and
+// conserves transactions.
+func TestPropertyRandomSpecs(t *testing.T) {
+	prop := func(proto8, topo8, mem8, typ8 uint8, seed uint64, split, twoPhase, noMsg bool) bool {
+		s := DefaultSpec()
+		s.Protocol = Protocol(proto8 % 3)
+		s.Topology = Topology(topo8 % 2)
+		s.Memory = MemoryKind(mem8 % 2)
+		s.STBusType = stbus.Type(int(typ8%3) + 1)
+		s.SplitLMIBridge = split
+		s.TwoPhase = twoPhase
+		s.NoMessageArbitration = noMsg
+		s.Seed = seed%1000 + 1
+		s.WorkloadScale = 0.05
+		p, err := Build(s)
+		if err != nil {
+			return false
+		}
+		r := p.Run(20e12)
+		return r.Done && r.Issued == r.Completed && r.Issued > 0
+	}
+	if err := tq.Check(prop, &tq.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

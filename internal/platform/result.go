@@ -1,0 +1,194 @@
+package platform
+
+import (
+	"fmt"
+	"io"
+
+	"mpsocsim/internal/bridge"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/stats"
+)
+
+// Result summarizes one platform run.
+type Result struct {
+	Spec Spec
+	// Done is false when the run hit the time budget before the workload
+	// drained.
+	Done bool
+	// Stalled marks a run aborted by the progress watchdog: no
+	// transaction was issued or completed for a long window, i.e. the
+	// configuration deadlocked rather than ran out of budget.
+	Stalled bool
+	// ExecPS is the execution time in picoseconds; CentralCycles the
+	// same expressed in central-node cycles.
+	ExecPS        int64
+	CentralCycles int64
+
+	Issued    int64
+	Completed int64
+	// TotalBytes is the payload moved by the traffic generators.
+	TotalBytes int64
+
+	// IPs holds per-generator agent statistics keyed by IP name.
+	IPs map[string][]iptg.AgentStats
+	// Bridges holds per-bridge statistics.
+	Bridges map[string]bridge.Stats
+	// MemUtilization is the busy fraction of the memory subsystem.
+	MemUtilization float64
+	// LMI carries the controller statistics (zero value for on-chip).
+	LMI lmi.Stats
+	// Monitor is the Fig.6 bus-interface monitor (nil for on-chip).
+	Monitor *lmi.Monitor
+	// DSP carries core statistics when the DSP is present.
+	DSP struct {
+		Present bool
+		Cycles  int64
+		CPI     float64
+	}
+}
+
+// Run executes the platform until the workload drains, maxPS of simulated
+// time elapses, or the progress watchdog detects a stall (no transaction
+// issued or completed over a long window — a deadlocked configuration).
+func (p *Platform) Run(maxPS int64) Result {
+	// Completion is defined by the IP traffic draining; the DSP is
+	// background interference and never gates the run.
+	pending := func() bool {
+		for _, g := range p.gens {
+			if !g.Done() {
+				return true
+			}
+		}
+		return false
+	}
+	progress := func() int64 {
+		var n int64
+		for _, g := range p.gens {
+			n += g.Issued() + g.Completed()
+		}
+		return n
+	}
+	// stallWindow is generous: the slowest legitimate configurations move
+	// at least one transaction every few thousand central cycles.
+	const stallWindow = 200_000
+	lastProg := int64(-1)
+	lastCheck := int64(0)
+	done := true
+	stalled := false
+	for pending() {
+		if p.Kernel.Now() >= maxPS {
+			done = false
+			break
+		}
+		if !p.Kernel.Step() {
+			done = false
+			break
+		}
+		if c := p.CentralClk.Cycles(); c-lastCheck >= stallWindow {
+			if prog := progress(); prog == lastProg {
+				done = false
+				stalled = true
+				break
+			} else {
+				lastProg = prog
+			}
+			lastCheck = c
+		}
+	}
+	r := p.collect(done)
+	r.Stalled = stalled
+	return r
+}
+
+func (p *Platform) collect(done bool) Result {
+	r := Result{
+		Spec:          p.Spec,
+		Done:          done,
+		ExecPS:        p.Kernel.Now(),
+		CentralCycles: p.CentralClk.Cycles(),
+		IPs:           map[string][]iptg.AgentStats{},
+		Bridges:       map[string]bridge.Stats{},
+	}
+	for _, g := range p.gens {
+		as := g.Stats()
+		r.IPs[g.Name()] = as
+		r.Issued += g.Issued()
+		r.Completed += g.Completed()
+		for _, a := range as {
+			r.TotalBytes += a.Bytes
+		}
+	}
+	for name, br := range p.bridges {
+		r.Bridges[name] = br.Stats()
+	}
+	if p.onchip != nil {
+		r.MemUtilization = p.onchip.Stats().Utilization()
+	}
+	if p.ctrl != nil {
+		r.LMI = p.ctrl.Stats()
+		r.MemUtilization = r.LMI.Utilization()
+		r.Monitor = p.ctrl.Monitor()
+	}
+	if p.core != nil {
+		cs := p.core.Stats()
+		r.DSP.Present = true
+		r.DSP.Cycles = cs.Cycles
+		r.DSP.CPI = cs.CPI()
+	}
+	return r
+}
+
+// ExecMS returns the execution time in milliseconds.
+func (r Result) ExecMS() float64 { return float64(r.ExecPS) / 1e9 }
+
+// ThroughputMBps returns generator payload throughput in MB/s of simulated
+// time.
+func (r Result) ThroughputMBps() float64 {
+	if r.ExecPS == 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) / (float64(r.ExecPS) / 1e12) / 1e6
+}
+
+// WriteSummary renders a human-readable run report.
+func (r Result) WriteSummary(w io.Writer) error {
+	fmt.Fprintf(w, "platform   : %s\n", r.Spec.Name())
+	fmt.Fprintf(w, "done       : %v\n", r.Done)
+	fmt.Fprintf(w, "exec time  : %.3f ms (%d central cycles)\n", r.ExecMS(), r.CentralCycles)
+	fmt.Fprintf(w, "transactions: issued=%d completed=%d\n", r.Issued, r.Completed)
+	fmt.Fprintf(w, "payload    : %.2f MB, %.1f MB/s\n", float64(r.TotalBytes)/1e6, r.ThroughputMBps())
+	fmt.Fprintf(w, "memory util: %.1f%%\n", 100*r.MemUtilization)
+	if r.Monitor != nil {
+		fmt.Fprintf(w, "lmi fifo   : full=%.1f%% storing=%.1f%% norequest=%.1f%% empty=%.1f%%\n",
+			100*r.Monitor.TotalFrac(lmi.StateFull),
+			100*r.Monitor.TotalFrac(lmi.StateStoring),
+			100*r.Monitor.TotalFrac(lmi.StateNoRequest),
+			100*r.Monitor.EmptyFrac())
+	}
+	if r.DSP.Present {
+		fmt.Fprintf(w, "dsp        : %d cycles, CPI %.2f\n", r.DSP.Cycles, r.DSP.CPI)
+	}
+	tbl := stats.NewTable("ip", "agent", "issued", "completed", "bytes", "mean_lat", "p90_lat", "max_lat")
+	for _, name := range stats.SortedKeys(r.IPs) {
+		for _, a := range r.IPs[name] {
+			tbl.AddRow(name, a.Name,
+				fmt.Sprint(a.Issued), fmt.Sprint(a.Completed), fmt.Sprint(a.Bytes),
+				fmt.Sprintf("%.1f", a.MeanLatency), fmt.Sprint(a.P90Latency), fmt.Sprint(a.MaxLatency))
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	if len(r.Bridges) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w)
+	btbl := stats.NewTable("bridge", "accepted", "blocked_cycles", "mean_res", "p90_res", "max_res")
+	for _, name := range stats.SortedKeys(r.Bridges) {
+		b := r.Bridges[name]
+		btbl.AddRow(name, fmt.Sprint(b.Accepted), fmt.Sprint(b.BlockedCycles),
+			fmt.Sprintf("%.1f", b.MeanResidency), fmt.Sprint(b.P90Residency), fmt.Sprint(b.MaxResidency))
+	}
+	return btbl.Write(w)
+}

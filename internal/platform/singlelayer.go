@@ -1,0 +1,272 @@
+package platform
+
+import (
+	"fmt"
+
+	"mpsocsim/internal/ahb"
+	"mpsocsim/internal/axi"
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/mem"
+	"mpsocsim/internal/sim"
+	"mpsocsim/internal/stbus"
+)
+
+// SingleLayerSpec describes the single-layer testbenches of the paper's
+// §4.1: N traffic generators and M memories on one shared interconnect.
+// M > 1 exercises the many-to-many pattern (§4.1.1); M = 1 the many-to-one,
+// memory-centric pattern (§4.1.2).
+type SingleLayerSpec struct {
+	Protocol   Protocol
+	Initiators int
+	Targets    int
+
+	// MemWaitStates configures every memory.
+	MemWaitStates int
+	// TargetReqDepth / TargetRespDepth size each memory's bus-interface
+	// FIFOs; the response depth is the "buffering resources at the
+	// target interfaces" STBus adds to close the gap with AXI (§4.1.1).
+	TargetReqDepth  int
+	TargetRespDepth int
+
+	// Workload per initiator.
+	Txns        int64
+	GapMean     float64
+	BurstMin    int
+	BurstMax    int
+	ReadFrac    float64
+	MsgLen      int
+	Outstanding int
+
+	// MaxOutstanding configures the fabric (STBus/AXI).
+	MaxOutstanding int
+	Seed           uint64
+}
+
+// DefaultSingleLayerSpec returns the §4.1 baseline: 6 generators issuing
+// bursty reads.
+func DefaultSingleLayerSpec(proto Protocol, targets int) SingleLayerSpec {
+	return SingleLayerSpec{
+		Protocol:        proto,
+		Initiators:      6,
+		Targets:         targets,
+		MemWaitStates:   1,
+		TargetReqDepth:  1,
+		TargetRespDepth: 2,
+		Txns:            300,
+		GapMean:         2,
+		BurstMin:        4,
+		BurstMax:        8,
+		ReadFrac:        1.0,
+		MsgLen:          1,
+		Outstanding:     4,
+		MaxOutstanding:  8,
+		Seed:            1,
+	}
+}
+
+func (s *SingleLayerSpec) normalize() {
+	if s.Initiators <= 0 {
+		s.Initiators = 6
+	}
+	if s.Targets <= 0 {
+		s.Targets = 1
+	}
+	if s.TargetReqDepth <= 0 {
+		s.TargetReqDepth = 1
+	}
+	if s.TargetRespDepth <= 0 {
+		s.TargetRespDepth = 2
+	}
+	if s.Txns <= 0 {
+		s.Txns = 300
+	}
+	if s.BurstMin <= 0 {
+		s.BurstMin = 4
+	}
+	if s.BurstMax < s.BurstMin {
+		s.BurstMax = s.BurstMin
+	}
+	if s.Outstanding <= 0 {
+		s.Outstanding = 4
+	}
+	if s.MaxOutstanding <= 0 {
+		s.MaxOutstanding = 8
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// SingleLayer is an assembled single-layer testbench.
+type SingleLayer struct {
+	Spec   SingleLayerSpec
+	Kernel *sim.Kernel
+	Clk    *sim.Clock
+	Fabric bus.Fabric
+
+	gens []*iptg.Generator
+	mems []*mem.Memory
+	ids  bus.IDSource
+}
+
+// BuildSingleLayer assembles the testbench.
+func BuildSingleLayer(spec SingleLayerSpec) (*SingleLayer, error) {
+	spec.normalize()
+	sl := &SingleLayer{
+		Spec:   spec,
+		Kernel: sim.NewKernel(),
+	}
+	sl.Clk = sl.Kernel.NewClock("bus", CentralMHz)
+
+	var regions []bus.Region
+	for t := 0; t < spec.Targets; t++ {
+		regions = append(regions, bus.Region{Base: uint64(t) << 24, Size: 1 << 24, Target: t})
+	}
+	amap, err := bus.NewAddrMap(regions...)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Protocol {
+	case AHB:
+		sl.Fabric = ahb.New("bus", ahb.Config{BytesPerBeat: 8}, amap)
+	case AXI:
+		sl.Fabric = axi.New("bus", axi.Config{MaxOutstanding: spec.MaxOutstanding, BytesPerBeat: 8}, amap)
+	default:
+		sl.Fabric = stbus.NewNode("bus", stbus.Config{
+			Type:               stbus.Type3,
+			MaxOutstanding:     spec.MaxOutstanding,
+			MessageArbitration: spec.MsgLen > 1,
+			BytesPerBeat:       8,
+		}, amap)
+	}
+
+	for t := 0; t < spec.Targets; t++ {
+		m := mem.New(fmt.Sprintf("mem%d", t), mem.Config{
+			WaitStates: spec.MemWaitStates,
+			ReqDepth:   spec.TargetReqDepth,
+			RespDepth:  spec.TargetRespDepth,
+		})
+		sl.Fabric.AttachTarget(m.Port())
+		sl.mems = append(sl.mems, m)
+	}
+	span := uint64(spec.Targets) << 24
+	for i := 0; i < spec.Initiators; i++ {
+		cfg := iptg.Config{
+			Name: fmt.Sprintf("ini%d", i),
+			Agents: []iptg.AgentConfig{{
+				Name: "gen",
+				Phases: []iptg.Phase{{
+					Count:    spec.Txns,
+					GapMean:  spec.GapMean,
+					BurstMin: spec.BurstMin,
+					BurstMax: spec.BurstMax,
+					ReadFrac: spec.ReadFrac,
+				}},
+				Outstanding: spec.Outstanding,
+				RegionBase:  0,
+				RegionSize:  span,
+				Pattern:     iptg.Random,
+				MsgLen:      spec.MsgLen,
+			}},
+			BytesPerBeat: 8,
+			Seed:         spec.Seed ^ uint64(i)*0x9e37,
+		}
+		g, err := iptg.New(cfg, sl.Clk, &sl.ids, i)
+		if err != nil {
+			return nil, err
+		}
+		sl.Fabric.AttachInitiator(g.Port())
+		sl.Clk.Register(g)
+		sl.gens = append(sl.gens, g)
+	}
+	sl.Clk.Register(sl.Fabric)
+	for _, m := range sl.mems {
+		sl.Clk.Register(m)
+	}
+	return sl, nil
+}
+
+// SingleLayerResult summarizes one single-layer run.
+type SingleLayerResult struct {
+	Done      bool
+	Cycles    int64
+	Issued    int64
+	Completed int64
+	// BusUtilization is the protocol-appropriate busy fraction: held
+	// cycles for AHB, mean response-channel occupancy for STBus, mean
+	// read-data-channel occupancy for AXI.
+	BusUtilization float64
+	// MemUtilization is the mean busy fraction across memories.
+	MemUtilization float64
+	// MeanLatency is the mean transaction latency over all generators.
+	MeanLatency float64
+}
+
+// Run executes until the workload drains or maxPS elapses.
+func (sl *SingleLayer) Run(maxPS int64) SingleLayerResult {
+	pending := func() bool {
+		for _, g := range sl.gens {
+			if !g.Done() {
+				return true
+			}
+		}
+		return false
+	}
+	done := sl.Kernel.RunWhile(pending, maxPS)
+	r := SingleLayerResult{Done: done, Cycles: sl.Clk.Cycles()}
+	var latSum float64
+	var latN int64
+	for _, g := range sl.gens {
+		r.Issued += g.Issued()
+		r.Completed += g.Completed()
+		for _, a := range g.Stats() {
+			latSum += a.MeanLatency * float64(a.Completed)
+			latN += a.Completed
+		}
+	}
+	if latN > 0 {
+		r.MeanLatency = latSum / float64(latN)
+	}
+	var mu float64
+	for _, m := range sl.mems {
+		mu += m.Stats().Utilization()
+	}
+	r.MemUtilization = mu / float64(len(sl.mems))
+	r.BusUtilization = sl.busUtilization()
+	return r
+}
+
+func (sl *SingleLayer) busUtilization() float64 {
+	switch f := sl.Fabric.(type) {
+	case *ahb.Bus:
+		return f.Stats().Utilization()
+	case *stbus.Node:
+		s := f.Stats()
+		var sum float64
+		for i := range s.RespChannelBusy {
+			sum += s.RespUtilization(i)
+		}
+		if n := len(s.RespChannelBusy); n > 0 {
+			return sum / float64(n)
+		}
+		return 0
+	case *axi.Interconnect:
+		s := f.Stats()
+		var sum float64
+		for i := range s.RChannelBusy {
+			sum += s.RUtilization(i)
+		}
+		if n := len(s.RChannelBusy); n > 0 {
+			return sum / float64(n)
+		}
+		return 0
+	}
+	return 0
+}
+
+// Generators exposes the testbench generators.
+func (sl *SingleLayer) Generators() []*iptg.Generator { return sl.gens }
+
+// Memories exposes the testbench memories.
+func (sl *SingleLayer) Memories() []*mem.Memory { return sl.mems }

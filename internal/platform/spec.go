@@ -1,0 +1,203 @@
+// Package platform assembles complete MPSoC virtual-platform instances in
+// the mould of the paper's Fig.1: functional clusters of IP traffic
+// generators on their own interconnect layers, bridged into a central
+// node that owns the memory subsystem (on-chip shared memory or the LMI
+// controller with off-chip DDR SDRAM), plus the ST220-class DSP core behind
+// an upsize frequency converter.
+//
+// Every architectural variant the paper evaluates is a Spec value:
+// communication protocol (STBus / AHB / AXI), topology (distributed
+// multi-layer vs collapsed single-layer), memory subsystem, bridge
+// functionality, and the workload (steady or two-phase for the Fig.6
+// analysis).
+package platform
+
+import (
+	"fmt"
+
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/stbus"
+)
+
+// Protocol selects the communication protocol family.
+type Protocol int
+
+// Protocols.
+const (
+	STBus Protocol = iota
+	AHB
+	AXI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case STBus:
+		return "STBus"
+	case AHB:
+		return "AHB"
+	case AXI:
+		return "AXI"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Topology selects the interconnect organization.
+type Topology int
+
+// Topologies.
+const (
+	// Distributed is the full multi-layer platform of Fig.1: five
+	// functional clusters on their own layers, bridged to the central
+	// node.
+	Distributed Topology = iota
+	// Collapsed attaches every communication actor directly to the
+	// central node (the paper's "collapsed" = single-layer variants),
+	// trading bus-access contention against multi-hop latency.
+	Collapsed
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	if t == Collapsed {
+		return "collapsed"
+	}
+	return "distributed"
+}
+
+// MemoryKind selects the memory subsystem.
+type MemoryKind int
+
+// Memory subsystems.
+const (
+	// OnChip is the on-chip shared memory variant (W wait states,
+	// single-slot buffering).
+	OnChip MemoryKind = iota
+	// LMIDDR is the LMI memory controller driving off-chip DDR SDRAM.
+	LMIDDR
+)
+
+// String names the memory kind.
+func (m MemoryKind) String() string {
+	if m == LMIDDR {
+		return "lmi+ddr"
+	}
+	return "onchip"
+}
+
+// Spec fully describes one platform instance.
+type Spec struct {
+	Protocol Protocol
+	Topology Topology
+	Memory   MemoryKind
+
+	// OnChipWaitStates configures the OnChip memory (default 1, the
+	// paper's baseline).
+	OnChipWaitStates int
+	// LMI configures the LMIDDR memory subsystem.
+	LMI lmi.Config
+
+	// STBusType selects the protocol generation for STBus layers.
+	STBusType stbus.Type
+	// MaxOutstanding bounds in-flight transactions per initiator
+	// interface on STBus/AXI layers.
+	MaxOutstanding int
+	// SplitLMIBridge upgrades the protocol-conversion bridge in front of
+	// the LMI (needed only when Protocol != STBus) from the lightweight
+	// blocking implementation to a split-capable one — the knob §4.2 of
+	// the paper turns.
+	SplitLMIBridge bool
+	// TargetRespDepth sizes the response/prefetch FIFO at target bus
+	// interfaces (the buffering lever of §4.1.1).
+	TargetRespDepth int
+	// NoMessageArbitration disables message-granularity arbitration in
+	// STBus nodes — the ablation for §3's claim that messaging keeps
+	// memory-controller-friendly sequences together.
+	NoMessageArbitration bool
+	// BridgeLatency overrides the pipeline latency (in destination
+	// cycles) of every cluster bridge; 0 keeps the default of 1.
+	BridgeLatency int
+
+	// WithDSP includes the ST220-class core and its converter. The core
+	// runs its cache-missing synthetic benchmark as background
+	// interference for the whole application lifetime (paper §3: "tuned
+	// to generate a significant amount of cache misses interfering with
+	// the traffic patterns of the other cores"); it does not gate run
+	// completion.
+	WithDSP bool
+	// DSPIterations bounds the core's benchmark; 0 or negative runs it
+	// for the whole simulation (the default interference setup).
+	DSPIterations int64
+	// DSPDCacheKB overrides the core's D-cache size in KiB (0 keeps the
+	// 32 KiB default) — the interference lever of the cache-size sweep.
+	DSPDCacheKB int
+	// DSPWorkingSetKB sets the benchmark's per-array working-set window
+	// in KiB (0 keeps the 64 KiB default, which thrashes the default
+	// cache and sustains interference). Small windows combined with a
+	// cache sweep expose the reuse/thrash transition.
+	DSPWorkingSetKB int
+
+	// WorkloadScale multiplies every agent's transaction counts.
+	WorkloadScale float64
+	// OutstandingOverride, when positive, caps every agent's transaction
+	// pipelining capability — the "simple IP bus interface" setting used
+	// by the Fig.4 memory-speed sweep, where per-transaction latency is
+	// exposed rather than hidden behind deep pipelining.
+	OutstandingOverride int
+	// ForceNonPostedWrites makes every write wait for its acknowledgement
+	// (no posting). Combined with low outstanding counts this is the
+	// latency-sensitive regime of the Fig.4 analysis: a distributed
+	// topology acks writes locally in its store-and-forward bridges,
+	// while a collapsed one waits for the (possibly slow) memory.
+	ForceNonPostedWrites bool
+	// TwoPhase switches the workload to the two-regime profile used for
+	// the Fig.6 analysis.
+	TwoPhase bool
+	// Seed drives all traffic-generator randomness.
+	Seed uint64
+}
+
+// DefaultSpec returns the paper's reference platform: distributed STBus
+// with the LMI + DDR memory subsystem and the DSP enabled.
+func DefaultSpec() Spec {
+	return Spec{
+		Protocol:         STBus,
+		Topology:         Distributed,
+		Memory:           LMIDDR,
+		OnChipWaitStates: 1,
+		LMI:              lmi.DefaultConfig(),
+		STBusType:        stbus.Type3,
+		MaxOutstanding:   8,
+		TargetRespDepth:  8,
+		WithDSP:          true,
+		DSPIterations:    400,
+		WorkloadScale:    1,
+		Seed:             1,
+	}
+}
+
+func (s *Spec) normalize() {
+	if s.OnChipWaitStates < 0 {
+		s.OnChipWaitStates = 0
+	}
+	if s.STBusType == 0 {
+		s.STBusType = stbus.Type3
+	}
+	if s.MaxOutstanding <= 0 {
+		s.MaxOutstanding = 8
+	}
+	if s.TargetRespDepth <= 0 {
+		s.TargetRespDepth = 8
+	}
+	if s.WorkloadScale <= 0 {
+		s.WorkloadScale = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// Name returns a compact identifier like "STBus/distributed/lmi+ddr".
+func (s Spec) Name() string {
+	return fmt.Sprintf("%s/%s/%s", s.Protocol, s.Topology, s.Memory)
+}

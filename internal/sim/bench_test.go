@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+func BenchmarkKernelStep(b *testing.B) {
+	k := NewKernel()
+	clk := k.NewClock("c", 250)
+	for i := 0; i < 16; i++ {
+		clk.Register(&ClockedFunc{OnEval: func() {}, OnUpdate: func() {}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+func BenchmarkKernelStepTwoDomains(b *testing.B) {
+	k := NewKernel()
+	fast := k.NewClock("fast", 400)
+	slow := k.NewClock("slow", 100)
+	for i := 0; i < 8; i++ {
+		fast.Register(&ClockedFunc{OnEval: func() {}})
+		slow.Register(&ClockedFunc{OnEval: func() {}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+func BenchmarkFifoPushPop(b *testing.B) {
+	f := NewFifo[int]("f", 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.CanPush() {
+			f.Push(i)
+		}
+		if f.CanPop() {
+			f.Pop()
+		}
+		f.Update()
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRandGeometric(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Geometric(4)
+	}
+}

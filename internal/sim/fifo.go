@@ -1,0 +1,190 @@
+package sim
+
+import "fmt"
+
+// Fifo is a synchronous two-phase FIFO. Pushes staged during Eval become
+// visible to readers only after Update (i.e. the next cycle); pops staged
+// during Eval are likewise committed at Update. CanPush accounts for pushes
+// already staged this cycle, so several producers evaluated in the same
+// cycle cannot overflow the FIFO. CanPop and Peek see only committed
+// entries, so an entry pushed in cycle N is poppable in cycle N+1 at the
+// earliest — one cycle of latency per hop, as in registered hardware.
+//
+// The owning component (or a shared Commit group) must call Update once per
+// cycle; the kernel does this when the Fifo is registered on a clock, but
+// the usual pattern is for the component owning the FIFO to call
+// fifo.Update() from its own Update method.
+type Fifo[T any] struct {
+	name    string
+	depth   int
+	cur     []T
+	pending []T
+	npop    int
+
+	// occupancy statistics (committed state, sampled at Update)
+	cycles      int64
+	fullCycles  int64
+	emptyCycles int64
+	maxOcc      int
+	pushedTotal int64
+}
+
+// NewFifo returns a FIFO with the given capacity. Depth must be positive.
+func NewFifo[T any](name string, depth int) *Fifo[T] {
+	if depth <= 0 {
+		panic(fmt.Sprintf("sim: fifo %q depth must be positive, got %d", name, depth))
+	}
+	return &Fifo[T]{name: name, depth: depth}
+}
+
+// Name returns the FIFO's name.
+func (f *Fifo[T]) Name() string { return f.name }
+
+// Depth returns the FIFO capacity.
+func (f *Fifo[T]) Depth() int { return f.depth }
+
+// Len returns the committed occupancy (entries visible to the reader).
+func (f *Fifo[T]) Len() int { return len(f.cur) }
+
+// Staged returns the number of pushes staged this cycle but not yet
+// committed. Interface monitors use it to observe "a request is being
+// stored this cycle" (e.g. the LMI bus-interface statistics of the paper's
+// Fig.6) during the Update phase.
+func (f *Fifo[T]) Staged() int { return len(f.pending) }
+
+// SpaceStaged returns the number of free slots accounting for pushes staged
+// this cycle but not for staged pops (conservative, hardware-accurate: a
+// full FIFO does not accept a push in the same cycle an entry leaves).
+func (f *Fifo[T]) SpaceStaged() int { return f.depth - len(f.cur) - len(f.pending) }
+
+// CanPush reports whether a push staged now would fit.
+func (f *Fifo[T]) CanPush() bool { return f.SpaceStaged() > 0 }
+
+// Push stages an entry for commit at Update. It panics on overflow — callers
+// must check CanPush; overflow is a modelling bug, not a runtime condition.
+func (f *Fifo[T]) Push(v T) {
+	if !f.CanPush() {
+		panic(fmt.Sprintf("sim: push to full fifo %q (depth %d)", f.name, f.depth))
+	}
+	f.pending = append(f.pending, v)
+}
+
+// CanPop reports whether a committed entry is available beyond those already
+// popped this cycle.
+func (f *Fifo[T]) CanPop() bool { return f.npop < len(f.cur) }
+
+// Peek returns the oldest not-yet-popped committed entry without consuming
+// it. It panics if none is available.
+func (f *Fifo[T]) Peek() T {
+	if !f.CanPop() {
+		panic(fmt.Sprintf("sim: peek on empty fifo %q", f.name))
+	}
+	return f.cur[f.npop]
+}
+
+// PeekAt returns the i-th not-yet-popped committed entry (0 = oldest). Used
+// by lookahead optimizers that inspect the queue without consuming it.
+func (f *Fifo[T]) PeekAt(i int) T {
+	if i < 0 || f.npop+i >= len(f.cur) {
+		panic(fmt.Sprintf("sim: peekAt(%d) out of range on fifo %q (len %d, npop %d)", i, f.name, len(f.cur), f.npop))
+	}
+	return f.cur[f.npop+i]
+}
+
+// RemoveAt stages removal of the i-th not-yet-popped committed entry
+// (0 = oldest) and returns it. RemoveAt(0) is equivalent to Pop. Removal of
+// an inner entry models an out-of-order scheduler picking from a queue; the
+// slot frees at Update. Only one RemoveAt with i>0 per cycle is supported
+// (sufficient for the LMI optimizer, which issues one command per cycle).
+func (f *Fifo[T]) RemoveAt(i int) T {
+	if i == 0 {
+		return f.Pop()
+	}
+	idx := f.npop + i
+	if idx >= len(f.cur) {
+		panic(fmt.Sprintf("sim: removeAt(%d) out of range on fifo %q", i, f.name))
+	}
+	v := f.cur[idx]
+	f.cur = append(f.cur[:idx:idx], f.cur[idx+1:]...)
+	return v
+}
+
+// Pop stages consumption of the oldest committed entry and returns it.
+func (f *Fifo[T]) Pop() T {
+	if !f.CanPop() {
+		panic(fmt.Sprintf("sim: pop from empty fifo %q", f.name))
+	}
+	v := f.cur[f.npop]
+	f.npop++
+	return v
+}
+
+// Update commits staged pushes and pops and samples occupancy statistics.
+// Call exactly once per cycle of the owning clock domain.
+func (f *Fifo[T]) Update() {
+	if f.npop > 0 {
+		var zero T
+		for i := 0; i < f.npop; i++ {
+			f.cur[i] = zero // release references for GC
+		}
+		f.cur = f.cur[f.npop:]
+		f.npop = 0
+	}
+	if len(f.pending) > 0 {
+		f.cur = append(f.cur, f.pending...)
+		f.pushedTotal += int64(len(f.pending))
+		f.pending = f.pending[:0]
+	}
+	f.cycles++
+	switch n := len(f.cur); {
+	case n >= f.depth:
+		f.fullCycles++
+	case n == 0:
+		f.emptyCycles++
+	}
+	if len(f.cur) > f.maxOcc {
+		f.maxOcc = len(f.cur)
+	}
+}
+
+// Reset discards all committed and staged state and statistics.
+func (f *Fifo[T]) Reset() {
+	f.cur = nil
+	f.pending = nil
+	f.npop = 0
+	f.cycles, f.fullCycles, f.emptyCycles, f.pushedTotal = 0, 0, 0, 0
+	f.maxOcc = 0
+}
+
+// Stats returns occupancy statistics sampled at each Update.
+func (f *Fifo[T]) Stats() FifoStats {
+	return FifoStats{
+		Cycles:       f.cycles,
+		FullCycles:   f.fullCycles,
+		EmptyCycles:  f.emptyCycles,
+		MaxOccupancy: f.maxOcc,
+		Pushed:       f.pushedTotal,
+	}
+}
+
+// FifoStats summarizes a FIFO's lifetime occupancy.
+type FifoStats struct {
+	Cycles       int64
+	FullCycles   int64
+	EmptyCycles  int64
+	MaxOccupancy int
+	Pushed       int64
+}
+
+// FullFrac returns the fraction of cycles the FIFO was full.
+func (s FifoStats) FullFrac() float64 { return frac(s.FullCycles, s.Cycles) }
+
+// EmptyFrac returns the fraction of cycles the FIFO was empty.
+func (s FifoStats) EmptyFrac() float64 { return frac(s.EmptyCycles, s.Cycles) }
+
+func frac(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}

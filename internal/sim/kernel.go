@@ -1,0 +1,216 @@
+// Package sim provides the cycle-accurate simulation kernel underlying the
+// whole virtual platform: multiple clock domains, two-phase (eval/update)
+// component scheduling, synchronous and clock-domain-crossing FIFOs, and a
+// deterministic PRNG.
+//
+// The kernel mirrors the delta-cycle discipline of a SystemC clocked design:
+// on every clock edge all components registered on that clock first Eval()
+// (compute, read current state, stage writes) and then Update() (commit the
+// staged writes). All inter-component communication flows through Fifo or
+// Reg values committed at Update, so a value written in cycle N is visible
+// to readers in cycle N+1 regardless of evaluation order.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Clocked is implemented by every synchronous component. Eval runs first on
+// each edge of the component's clock and may read current state and stage
+// writes; Update commits staged state. No component may observe another
+// component's staged (pre-Update) state.
+type Clocked interface {
+	Eval()
+	Update()
+}
+
+// ClockedFunc adapts a pair of functions to the Clocked interface.
+type ClockedFunc struct {
+	OnEval   func()
+	OnUpdate func()
+}
+
+// Eval calls OnEval if non-nil.
+func (c *ClockedFunc) Eval() {
+	if c.OnEval != nil {
+		c.OnEval()
+	}
+}
+
+// Update calls OnUpdate if non-nil.
+func (c *ClockedFunc) Update() {
+	if c.OnUpdate != nil {
+		c.OnUpdate()
+	}
+}
+
+// Clock is a free-running clock domain. Components registered on a clock are
+// ticked on every rising edge, in registration order, first all Eval then
+// all Update.
+type Clock struct {
+	name     string
+	periodPS int64
+	nextEdge int64
+	cycle    int64
+	comps    []Clocked
+	kernel   *Kernel
+}
+
+// Name returns the clock's name.
+func (c *Clock) Name() string { return c.name }
+
+// PeriodPS returns the clock period in picoseconds.
+func (c *Clock) PeriodPS() int64 { return c.periodPS }
+
+// FreqMHz returns the clock frequency in MHz.
+func (c *Clock) FreqMHz() float64 { return 1e6 / float64(c.periodPS) }
+
+// Cycles returns the number of rising edges elapsed so far.
+func (c *Clock) Cycles() int64 { return c.cycle }
+
+// Register adds a component to this clock domain. Components are evaluated
+// in registration order; because all communication is through two-phase
+// FIFOs, the order affects only arbitration tie-breaks internal to a single
+// component, never cross-component value propagation.
+func (c *Clock) Register(comp Clocked) {
+	c.comps = append(c.comps, comp)
+}
+
+// Kernel owns simulated time and all clock domains.
+type Kernel struct {
+	nowPS  int64
+	clocks []*Clock
+	// stopped is set by Stop; Run loops exit at the next edge boundary.
+	stopped bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns current simulated time in picoseconds.
+func (k *Kernel) Now() int64 { return k.nowPS }
+
+// Stop requests that the current Run loop exit after the in-flight edge.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// NewClock creates and registers a clock domain with the given frequency.
+// The first edge fires at t = period (all clocks start aligned at phase 0).
+func (k *Kernel) NewClock(name string, freqMHz float64) *Clock {
+	if freqMHz <= 0 {
+		panic(fmt.Sprintf("sim: non-positive frequency %v for clock %q", freqMHz, name))
+	}
+	period := int64(math.Round(1e6 / freqMHz))
+	if period <= 0 {
+		period = 1
+	}
+	c := &Clock{name: name, periodPS: period, nextEdge: period, kernel: k}
+	k.clocks = append(k.clocks, c)
+	return c
+}
+
+// NewClockPeriodPS creates a clock from an exact period in picoseconds.
+func (k *Kernel) NewClockPeriodPS(name string, periodPS int64) *Clock {
+	if periodPS <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %d for clock %q", periodPS, name))
+	}
+	c := &Clock{name: name, periodPS: periodPS, nextEdge: periodPS, kernel: k}
+	k.clocks = append(k.clocks, c)
+	return c
+}
+
+// Step advances simulated time to the next clock edge (or group of
+// simultaneous edges) and ticks the affected clock domains. It returns false
+// when there are no clocks registered.
+func (k *Kernel) Step() bool {
+	if len(k.clocks) == 0 {
+		return false
+	}
+	next := int64(math.MaxInt64)
+	for _, c := range k.clocks {
+		if c.nextEdge < next {
+			next = c.nextEdge
+		}
+	}
+	k.nowPS = next
+	// Collect all clocks firing at this instant. Tick them as one
+	// synchronous group: all Evals, then all Updates, so simultaneous
+	// edges across domains behave like a single wider domain.
+	var firing []*Clock
+	for _, c := range k.clocks {
+		if c.nextEdge == next {
+			firing = append(firing, c)
+		}
+	}
+	// Deterministic order: registration order is already deterministic,
+	// but sort by name for cross-domain stability if callers reorder.
+	sort.SliceStable(firing, func(i, j int) bool { return firing[i].name < firing[j].name })
+	for _, c := range firing {
+		for _, comp := range c.comps {
+			comp.Eval()
+		}
+	}
+	for _, c := range firing {
+		for _, comp := range c.comps {
+			comp.Update()
+		}
+		c.cycle++
+		c.nextEdge += c.periodPS
+	}
+	return true
+}
+
+// RunUntil advances until simulated time reaches ps (inclusive of edges at
+// exactly ps) or Stop is called.
+func (k *Kernel) RunUntil(ps int64) {
+	for !k.stopped {
+		next := k.peekNextEdge()
+		if next < 0 || next > ps {
+			return
+		}
+		k.Step()
+	}
+}
+
+// RunCycles runs n rising edges of the given clock (other clocks advance as
+// needed) or until Stop.
+func (k *Kernel) RunCycles(c *Clock, n int64) {
+	target := c.cycle + n
+	for !k.stopped && c.cycle < target {
+		if !k.Step() {
+			return
+		}
+	}
+}
+
+// RunWhile steps the kernel while cond returns true, up to maxPS of
+// simulated time. It returns true if cond went false (normal exit), false on
+// timeout or Stop.
+func (k *Kernel) RunWhile(cond func() bool, maxPS int64) bool {
+	for cond() {
+		if k.stopped || k.nowPS >= maxPS {
+			return false
+		}
+		if !k.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+func (k *Kernel) peekNextEdge() int64 {
+	if len(k.clocks) == 0 {
+		return -1
+	}
+	next := int64(math.MaxInt64)
+	for _, c := range k.clocks {
+		if c.nextEdge < next {
+			next = c.nextEdge
+		}
+	}
+	return next
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+)
+
+type counter struct {
+	evals   int
+	updates int
+	// order check: updates must never run ahead of evals
+	bad bool
+}
+
+func (c *counter) Eval() {
+	if c.updates != c.evals {
+		c.bad = true
+	}
+	c.evals++
+}
+
+func (c *counter) Update() {
+	if c.updates+1 != c.evals {
+		c.bad = true
+	}
+	c.updates++
+}
+
+func TestClockBasicTicking(t *testing.T) {
+	k := NewKernel()
+	clk := k.NewClock("c", 100) // 100 MHz -> 10ns period
+	c := &counter{}
+	clk.Register(c)
+
+	k.RunCycles(clk, 10)
+	if c.evals != 10 || c.updates != 10 {
+		t.Fatalf("got %d evals %d updates, want 10/10", c.evals, c.updates)
+	}
+	if c.bad {
+		t.Fatal("eval/update ordering violated")
+	}
+	if clk.Cycles() != 10 {
+		t.Fatalf("clock cycles = %d, want 10", clk.Cycles())
+	}
+	if k.Now() != 10*clk.PeriodPS() {
+		t.Fatalf("now = %d, want %d", k.Now(), 10*clk.PeriodPS())
+	}
+}
+
+func TestClockPeriodFromFrequency(t *testing.T) {
+	k := NewKernel()
+	cases := []struct {
+		mhz    float64
+		period int64
+	}{
+		{400, 2500},
+		{250, 4000},
+		{200, 5000},
+		{100, 10000},
+		{133, 7519},
+	}
+	for _, tc := range cases {
+		c := k.NewClock("x", tc.mhz)
+		if c.PeriodPS() != tc.period {
+			t.Errorf("freq %v MHz: period = %d ps, want %d", tc.mhz, c.PeriodPS(), tc.period)
+		}
+	}
+}
+
+func TestMultiClockRatio(t *testing.T) {
+	k := NewKernel()
+	fast := k.NewClock("fast", 400)
+	slow := k.NewClock("slow", 100)
+	cf := &counter{}
+	cs := &counter{}
+	fast.Register(cf)
+	slow.Register(cs)
+
+	k.RunUntil(1_000_000) // 1 us
+	// 400 MHz -> 400 edges/us, 100 MHz -> 100 edges/us
+	if cf.evals != 400 {
+		t.Errorf("fast evals = %d, want 400", cf.evals)
+	}
+	if cs.evals != 100 {
+		t.Errorf("slow evals = %d, want 100", cs.evals)
+	}
+}
+
+func TestSimultaneousEdgesTickAsGroup(t *testing.T) {
+	k := NewKernel()
+	a := k.NewClock("a", 100)
+	b := k.NewClock("b", 100)
+	var order []string
+	a.Register(&ClockedFunc{
+		OnEval:   func() { order = append(order, "aE") },
+		OnUpdate: func() { order = append(order, "aU") },
+	})
+	b.Register(&ClockedFunc{
+		OnEval:   func() { order = append(order, "bE") },
+		OnUpdate: func() { order = append(order, "bU") },
+	})
+	k.Step()
+	want := []string{"aE", "bE", "aU", "bU"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	k := NewKernel()
+	clk := k.NewClock("c", 100)
+	n := 0
+	clk.Register(&ClockedFunc{OnEval: func() {
+		n++
+		if n == 5 {
+			k.Stop()
+		}
+	}})
+	k.RunCycles(clk, 1000)
+	if n != 5 {
+		t.Fatalf("ran %d cycles, want 5", n)
+	}
+	if !k.Stopped() {
+		t.Fatal("kernel should report stopped")
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	k := NewKernel()
+	clk := k.NewClock("c", 100)
+	n := 0
+	clk.Register(&ClockedFunc{OnEval: func() { n++ }})
+	ok := k.RunWhile(func() bool { return n < 7 }, 1<<40)
+	if !ok {
+		t.Fatal("RunWhile should report condition satisfied")
+	}
+	if n != 7 {
+		t.Fatalf("n = %d, want 7", n)
+	}
+	// timeout path
+	ok = k.RunWhile(func() bool { return true }, k.Now()+100_000)
+	if ok {
+		t.Fatal("RunWhile should time out")
+	}
+}
+
+func TestKernelNoClocks(t *testing.T) {
+	k := NewKernel()
+	if k.Step() {
+		t.Fatal("Step with no clocks should return false")
+	}
+	k.RunUntil(1000) // must not hang
+}
+
+func TestNewClockPanicsOnBadFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive frequency")
+		}
+	}()
+	NewKernel().NewClock("bad", 0)
+}
+
+func TestClockedFuncNilSafe(t *testing.T) {
+	c := &ClockedFunc{}
+	c.Eval()
+	c.Update() // must not panic
+}

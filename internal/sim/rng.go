@@ -1,0 +1,87 @@
+package sim
+
+// Rand is a small deterministic PRNG (splitmix64 core) used by traffic
+// generators and synthetic benchmarks. It is not cryptographic; it exists so
+// that simulations are reproducible from a seed without math/rand global
+// state and stable across Go releases.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded deterministically.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (r *Rand) Range(lo, hi int) int {
+	if hi < lo {
+		panic("sim: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (number of failures before success, shifted to have mean m, minimum 0).
+// Used for bursty idle-gap generation.
+func (r *Rand) Geometric(m float64) int {
+	if m <= 0 {
+		return 0
+	}
+	p := 1 / (m + 1)
+	n := 0
+	for !r.Bool(p) {
+		n++
+		if n > 1<<20 { // safety bound; unreachable for sane p
+			break
+		}
+	}
+	return n
+}
+
+// Pick returns an index in [0,len(weights)) with probability proportional to
+// weights[i]. Zero-total weights pick index 0.
+func (r *Rand) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(12345)
+	b := NewRand(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collide %d/100 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for n := 1; n < 20; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := NewRand(3)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.Range(4, 8)
+		if v < 4 || v > 8 {
+			t.Fatalf("Range(4,8) = %d out of bounds", v)
+		}
+		if v == 4 {
+			seenLo = true
+		}
+		if v == 8 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("Range must be able to produce both endpoints")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(11)
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(5)
+	}
+	mean := float64(sum) / n
+	if mean < 4.0 || mean > 6.0 {
+		t.Fatalf("geometric mean = %v, want ~5", mean)
+	}
+	if g := r.Geometric(0); g != 0 {
+		t.Fatalf("Geometric(0) = %d, want 0", g)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := NewRand(13)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 1})]++
+	}
+	// expect roughly 25% / 50% / 25%
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Fatalf("weighted pick skew wrong: %v", counts)
+	}
+	if r.Pick([]float64{0, 0}) != 0 {
+		t.Fatal("zero-weight pick should return 0")
+	}
+}
+
+// Property: Pick always returns a valid index.
+func TestPickPropertyInRange(t *testing.T) {
+	r := NewRand(17)
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, b := range raw {
+			w[i] = float64(b)
+		}
+		i := r.Pick(w)
+		return i >= 0 && i < len(w)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package stbus
+
+import (
+	"testing"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/mem"
+	"mpsocsim/internal/sim"
+)
+
+// BenchmarkNodeCycle measures node evaluation cost with 8 initiators
+// streaming reads to one memory.
+func BenchmarkNodeCycle(b *testing.B) {
+	k := sim.NewKernel()
+	clk := k.NewClock("clk", 250)
+	node := NewNode("n", DefaultConfig(), bus.Single(0))
+	m := mem.New("m", mem.DefaultConfig())
+	node.AttachTarget(m.Port())
+	var ids bus.IDSource
+	for i := 0; i < 8; i++ {
+		port := bus.NewInitiatorPort("i", 4, 8)
+		node.AttachInitiator(port)
+		p := port
+		clk.Register(&sim.ClockedFunc{
+			OnEval: func() {
+				if p.Req.CanPush() {
+					p.Req.Push(&bus.Request{
+						ID: ids.Next(), Op: bus.OpRead,
+						Addr: 0x100, Beats: 4, BytesPerBeat: 8, MsgEnd: true,
+					})
+				}
+				for p.Resp.CanPop() {
+					p.Resp.Pop()
+				}
+			},
+			OnUpdate: p.Update,
+		})
+	}
+	clk.Register(node)
+	clk.Register(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}

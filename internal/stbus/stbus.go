@@ -1,0 +1,383 @@
+// Package stbus models the STMicroelectronics STBus interconnect node: a
+// crossbar with separate request and response physical channels, split
+// transactions, message-granularity arbitration and per-initiator
+// outstanding-transaction limits that depend on the protocol type.
+//
+// Protocol types (paper §3.1):
+//
+//   - Type 1: low-cost; one outstanding transaction per initiator
+//     (each transaction blocks its initiator), no posted writes.
+//   - Type 2: adds source/priority labelling, posted writes, split and
+//     pipelined transactions; multiple outstanding, in-order delivery.
+//   - Type 3: adds shaped packets and out-of-order transaction support;
+//     multiple outstanding, out-of-order delivery allowed.
+//
+// The node is a sim.Clocked. Per cycle, each target's request channel can
+// accept one packet (a read request costs one cycle; a write occupies the
+// channel for its data beats) and each initiator's response channel can
+// deliver one beat. Grant hand-over is free (asynchronous grant propagation,
+// paper §4.1.2): a new transfer can start the cycle after the previous one
+// ends with no idle cycle in between.
+package stbus
+
+import (
+	"fmt"
+
+	"mpsocsim/internal/bus"
+)
+
+// Type selects the STBus protocol generation.
+type Type int
+
+// STBus protocol types.
+const (
+	Type1 Type = 1
+	Type2 Type = 2
+	Type3 Type = 3
+)
+
+// String returns "T1", "T2" or "T3".
+func (t Type) String() string { return fmt.Sprintf("T%d", int(t)) }
+
+// Config parameterizes an STBus node.
+type Config struct {
+	// Type is the protocol generation; it constrains the other fields.
+	Type Type
+	// MaxOutstanding limits in-flight transactions per initiator.
+	// Type 1 forces 1. Default for T2/T3 is 8.
+	MaxOutstanding int
+	// MessageArbitration holds a target's grant on one initiator until it
+	// completes a request marked MsgEnd, keeping memory-controller-
+	// friendly sequences together (paper §3).
+	MessageArbitration bool
+	// BytesPerBeat is the node data width (e.g. 8 for 64-bit).
+	BytesPerBeat int
+}
+
+// DefaultConfig returns a Type-3, 64-bit node with message arbitration, the
+// configuration of the reference platform's central nodes.
+func DefaultConfig() Config {
+	return Config{Type: Type3, MaxOutstanding: 8, MessageArbitration: true, BytesPerBeat: 8}
+}
+
+func (c *Config) normalize() {
+	if c.Type == 0 {
+		c.Type = Type3
+	}
+	if c.Type == Type1 {
+		c.MaxOutstanding = 1
+	} else if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 8
+	}
+	if c.BytesPerBeat <= 0 {
+		c.BytesPerBeat = 8
+	}
+}
+
+// reqChannel is the per-target request-path state.
+type reqChannel struct {
+	// in-flight transfer on this target's request channel
+	cur       *bus.Request
+	beatsLeft int
+	// message lock: initiator index holding the grant, -1 if free
+	msgLock int
+	// round-robin pointer
+	rr int
+	// stats
+	busyCycles int64
+}
+
+// respChannel is the per-initiator response-path state.
+type respChannel struct {
+	rr         int
+	busyCycles int64
+}
+
+// Node is an STBus crossbar node.
+type Node struct {
+	name string
+	cfg  Config
+
+	initiators []*bus.InitiatorPort
+	targets    []*bus.TargetPort
+	amap       *bus.AddrMap
+
+	reqCh  []reqChannel
+	respCh []respChannel
+
+	outstanding []int
+	// order[i] holds outstanding request IDs of initiator i in issue
+	// order, for Type-2 in-order response enforcement.
+	order [][]uint64
+	// outTarget[i] is the target index of initiator i's outstanding
+	// window (-1 when none). Type 2 keeps all in-flight transactions of
+	// one initiator on a single target so that in-order delivery cannot
+	// cross-block between targets (the standard in-order issue rule).
+	outTarget []int
+
+	cycles    int64
+	forwarded int64
+	beatsOut  int64
+}
+
+// NewNode builds an empty node; attach initiators and targets before
+// running. The address map decodes request addresses to target indices.
+func NewNode(name string, cfg Config, amap *bus.AddrMap) *Node {
+	cfg.normalize()
+	return &Node{name: name, cfg: cfg, amap: amap}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Config returns the normalized configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// AttachInitiator connects an initiator port and returns its index, which
+// the node writes into Request.Src for response routing. The port is owned
+// (Updated) by the initiator component, not by the node.
+func (n *Node) AttachInitiator(p *bus.InitiatorPort) int {
+	n.initiators = append(n.initiators, p)
+	n.respCh = append(n.respCh, respChannel{})
+	n.outstanding = append(n.outstanding, 0)
+	n.order = append(n.order, nil)
+	n.outTarget = append(n.outTarget, -1)
+	return len(n.initiators) - 1
+}
+
+// AttachTarget connects a target port and returns its index. The port is
+// owned (Updated) by the target component.
+func (n *Node) AttachTarget(p *bus.TargetPort) int {
+	n.targets = append(n.targets, p)
+	n.reqCh = append(n.reqCh, reqChannel{msgLock: -1})
+	return len(n.targets) - 1
+}
+
+// Eval advances request and response paths one node cycle.
+func (n *Node) Eval() {
+	n.cycles++
+	n.evalRequestPaths()
+	n.evalResponsePaths()
+}
+
+// Update: the node owns no FIFOs (ports are owned by the attached
+// components), so there is nothing to commit.
+func (n *Node) Update() {}
+
+func (n *Node) evalRequestPaths() {
+	for t := range n.targets {
+		ch := &n.reqCh[t]
+		if ch.cur != nil {
+			ch.busyCycles++
+			ch.beatsLeft--
+			if ch.beatsLeft == 0 {
+				n.completeTransfer(t, ch)
+			}
+			continue
+		}
+		// arbitration: pick an initiator whose head request decodes to t
+		init := n.arbitrate(t, ch)
+		if init < 0 {
+			continue
+		}
+		ip := n.initiators[init]
+		req := ip.Req.Peek()
+		if !n.targets[t].Req.CanPush() {
+			continue // target input FIFO full: no grant this cycle
+		}
+		ip.Req.Pop()
+		req.Src = init
+		if n.cfg.Type == Type1 {
+			req.Posted = false // Type 1 has no posted writes
+		}
+		ch.cur = req
+		n.outTarget[init] = t
+		ch.busyCycles++
+		// A read occupies the request channel for one packet cycle; a
+		// write carries its data beats on the request channel.
+		cost := 1
+		if req.Op == bus.OpWrite {
+			cost = req.Beats
+			if cost < 1 {
+				cost = 1
+			}
+		}
+		ch.beatsLeft = cost - 1
+		n.outstanding[init]++
+		n.order[init] = append(n.order[init], req.ID)
+		if ch.beatsLeft == 0 {
+			n.completeTransfer(t, ch)
+		}
+		if n.cfg.MessageArbitration {
+			if req.MsgEnd {
+				ch.msgLock = -1
+			} else {
+				ch.msgLock = init
+			}
+		}
+	}
+}
+
+// completeTransfer pushes the fully transferred request into the target FIFO
+// and releases the channel.
+func (n *Node) completeTransfer(t int, ch *reqChannel) {
+	req := ch.cur
+	n.targets[t].Req.Push(req)
+	n.forwarded++
+	ch.cur = nil
+	if req.Op == bus.OpWrite && req.Posted && n.cfg.Type >= Type2 {
+		// Posted write completes at acceptance; no response returns.
+		n.retire(req.Src, req.ID)
+	}
+}
+
+// arbitrate returns the initiator index granted for target t, or -1.
+func (n *Node) arbitrate(t int, ch *reqChannel) int {
+	ni := len(n.initiators)
+	if ni == 0 {
+		return -1
+	}
+	eligible := func(i int) bool {
+		ip := n.initiators[i]
+		if !ip.Req.CanPop() {
+			return false
+		}
+		req := ip.Req.Peek()
+		if n.amap.Decode(req.Addr) != t {
+			return false
+		}
+		if n.outstanding[i] >= n.cfg.MaxOutstanding {
+			return false
+		}
+		if n.cfg.Type == Type2 && n.outstanding[i] > 0 && n.outTarget[i] != t {
+			return false // in-order issue rule: one target at a time
+		}
+		return true
+	}
+	if ch.msgLock >= 0 {
+		// Grant held for an in-progress message: serve the holder while
+		// it keeps requests to this target queued back-to-back. Any
+		// stall — empty queue, head decoding elsewhere, or the holder's
+		// outstanding window exhausted — releases the lock so one
+		// master's message cannot starve the channel (the grant-timeout
+		// behaviour of real message arbiters).
+		i := ch.msgLock
+		if eligible(i) {
+			return i
+		}
+		ch.msgLock = -1
+	}
+	// Priority first (higher Prio wins), round-robin among equals.
+	best, bestPrio := -1, 0
+	for k := 0; k < ni; k++ {
+		i := (ch.rr + k) % ni
+		if !eligible(i) {
+			continue
+		}
+		p := n.initiators[i].Req.Peek().Prio
+		if best < 0 || p > bestPrio {
+			best, bestPrio = i, p
+		}
+	}
+	if best >= 0 {
+		ch.rr = (best + 1) % ni
+	}
+	return best
+}
+
+func (n *Node) evalResponsePaths() {
+	for i := range n.initiators {
+		ch := &n.respCh[i]
+		ip := n.initiators[i]
+		if !ip.Resp.CanPush() {
+			continue
+		}
+		nt := len(n.targets)
+		for k := 0; k < nt; k++ {
+			t := (ch.rr + k) % nt
+			tp := n.targets[t]
+			if !tp.Resp.CanPop() {
+				continue
+			}
+			beat := tp.Resp.Peek()
+			if beat.Req.Src != i {
+				continue
+			}
+			// Type 2 delivers responses in issue order per initiator.
+			if n.cfg.Type == Type2 && len(n.order[i]) > 0 && n.order[i][0] != beat.Req.ID {
+				continue
+			}
+			tp.Resp.Pop()
+			ip.Resp.Push(beat)
+			ch.busyCycles++
+			n.beatsOut++
+			if beat.Last {
+				n.retire(i, beat.Req.ID)
+			}
+			ch.rr = (t + 1) % nt
+			break
+		}
+	}
+}
+
+// retire removes a completed request from the outstanding accounting.
+func (n *Node) retire(init int, id uint64) {
+	if n.outstanding[init] > 0 {
+		n.outstanding[init]--
+	}
+	if n.outstanding[init] == 0 {
+		n.outTarget[init] = -1
+	}
+	ord := n.order[init]
+	for j, v := range ord {
+		if v == id {
+			n.order[init] = append(ord[:j:j], ord[j+1:]...)
+			break
+		}
+	}
+}
+
+// Outstanding returns the in-flight count for initiator i (for tests).
+func (n *Node) Outstanding(i int) int { return n.outstanding[i] }
+
+// Stats reports node activity.
+func (n *Node) Stats() Stats {
+	s := Stats{
+		Cycles:    n.cycles,
+		Forwarded: n.forwarded,
+		BeatsOut:  n.beatsOut,
+	}
+	for i := range n.reqCh {
+		s.ReqChannelBusy = append(s.ReqChannelBusy, n.reqCh[i].busyCycles)
+	}
+	for i := range n.respCh {
+		s.RespChannelBusy = append(s.RespChannelBusy, n.respCh[i].busyCycles)
+	}
+	return s
+}
+
+// Stats summarizes node activity over the run.
+type Stats struct {
+	Cycles          int64
+	Forwarded       int64
+	BeatsOut        int64
+	ReqChannelBusy  []int64 // per target
+	RespChannelBusy []int64 // per initiator
+}
+
+// ReqUtilization returns the busy fraction of target t's request channel.
+func (s Stats) ReqUtilization(t int) float64 {
+	if s.Cycles == 0 || t >= len(s.ReqChannelBusy) {
+		return 0
+	}
+	return float64(s.ReqChannelBusy[t]) / float64(s.Cycles)
+}
+
+// RespUtilization returns the busy fraction of initiator i's response
+// channel.
+func (s Stats) RespUtilization(i int) float64 {
+	if s.Cycles == 0 || i >= len(s.RespChannelBusy) {
+		return 0
+	}
+	return float64(s.RespChannelBusy[i]) / float64(s.Cycles)
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderEnabled(t *testing.T) {
+	r := NewRecorder(true, 10)
+	r.Record(100, "lmi", "pop req %d", 1)
+	r.Record(200, "node", "grant %s", "i0")
+	if len(r.Events()) != 2 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pop req 1") || !strings.Contains(sb.String(), "grant i0") {
+		t.Fatalf("dump: %q", sb.String())
+	}
+}
+
+func TestRecorderDisabledIsFree(t *testing.T) {
+	r := NewRecorder(false, 10)
+	r.Record(1, "x", "y")
+	if len(r.Events()) != 0 {
+		t.Fatal("disabled recorder recorded")
+	}
+	if r.Enabled() {
+		t.Fatal("should be disabled")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(true, 3)
+	for i := 0; i < 10; i++ {
+		r.Record(int64(i), "c", "e")
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("limit ignored: %d events", len(r.Events()))
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	s := NewSampler(100)
+	s.Sample(1, "fifo", 0)
+	s.Sample(2, "fifo", 3)
+	s.Sample(2, "busy", 1)
+	s.Sample(4, "fifo", 1)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "time,busy,fifo" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%s", len(lines), sb.String())
+	}
+	// at t=4 busy holds its last value (1)
+	if lines[3] != "4,1,1" {
+		t.Fatalf("hold-last failed: %q", lines[3])
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	s := NewSampler(10)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Fatal("empty sampler should write nothing")
+	}
+}
+
+func TestSamplerLimit(t *testing.T) {
+	s := NewSampler(2)
+	for i := 0; i < 5; i++ {
+		s.Sample(int64(i), "x", int64(i))
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("rows = %d", len(lines))
+	}
+}

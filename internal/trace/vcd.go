@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteVCD emits the sampler's signals as a Value Change Dump file viewable
+// in standard waveform viewers (GTKWave etc.). Each signal becomes a 64-bit
+// integer variable; the timescale is declared as 1 ns per sampler time unit
+// (cycles, in the platform integration).
+func (s *Sampler) WriteVCD(w io.Writer, module string) error {
+	if module == "" {
+		module = "mpsocsim"
+	}
+	names := s.Signals()
+	if len(names) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", module); err != nil {
+		return err
+	}
+	ids := make(map[string]string, len(names))
+	for i, n := range names {
+		id := vcdID(i)
+		ids[n] = id
+		if _, err := fmt.Fprintf(w, "$var integer 64 %s %s $end\n", id, n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	// merge all sample points into one time-ordered change list
+	type change struct {
+		t    int64
+		name string
+		v    int64
+	}
+	var changes []change
+	for _, n := range names {
+		for _, p := range s.series[n] {
+			changes = append(changes, change{t: p.t, name: n, v: p.v})
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].t < changes[j].t })
+
+	last := map[string]int64{}
+	curTime := int64(-1)
+	for _, c := range changes {
+		if v, ok := last[c.name]; ok && v == c.v {
+			continue // dump actual changes only
+		}
+		if c.t != curTime {
+			if _, err := fmt.Fprintf(w, "#%d\n", c.t); err != nil {
+				return err
+			}
+			curTime = c.t
+		}
+		if _, err := fmt.Fprintf(w, "b%s %s\n", strconv.FormatInt(c.v, 2), ids[c.name]); err != nil {
+			return err
+		}
+		last[c.name] = c.v
+	}
+	return nil
+}
+
+// vcdID returns a short printable VCD identifier for signal index i.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return string(alphabet[i%len(alphabet)]) + vcdID(i/len(alphabet)-1)
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCD(t *testing.T) {
+	s := NewSampler(100)
+	s.Sample(0, "fifo", 0)
+	s.Sample(10, "fifo", 3)
+	s.Sample(10, "busy", 1)
+	s.Sample(20, "fifo", 3) // unchanged: must not be dumped again
+	s.Sample(30, "fifo", 1)
+	var sb strings.Builder
+	if err := s.WriteVCD(&sb, "plat"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module plat", "$var integer 64", "fifo", "busy",
+		"$enddefinitions", "#0", "#10", "#30",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#20") {
+		t.Fatal("unchanged sample at t=20 must not appear")
+	}
+	if !strings.Contains(out, "b11 ") {
+		t.Fatalf("value 3 should be dumped as binary 11:\n%s", out)
+	}
+}
+
+func TestWriteVCDEmpty(t *testing.T) {
+	s := NewSampler(10)
+	var sb strings.Builder
+	if err := s.WriteVCD(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Fatal("empty sampler should write nothing")
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
