@@ -1,0 +1,29 @@
+# Build/verify entry points. `make verify` is the full pre-merge gate:
+# vet + build + full tests + the race detector over the short suite (the
+# parallel experiment runner makes concurrency real, so every sink the
+# worker pool touches must stay race-free).
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race pass runs in short mode: the wall-clock-heavy regeneration tests
+# skip themselves, while every concurrent path (runner fan-out, parallel
+# figure tests, determinism-under-runner) still executes under the
+# detector.
+race:
+	$(GO) test -race -short ./...
+
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

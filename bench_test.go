@@ -11,6 +11,10 @@ package mpsocsim_test
 //	BenchmarkFig4MemorySpeedSweep   Fig.4  distributed vs collapsed
 //	BenchmarkFig5LMIPlatforms       Fig.5  LMI + DDR instances
 //	BenchmarkFig6LMIStatistics      Fig.6  LMI interface fine-grain stats
+//
+// The experiments run serially (Workers: 1) so ns/op measures simulator
+// speed; the Parallel variants measure the same sweep through the worker
+// pool for the wall-clock comparison.
 
 import (
 	"testing"
@@ -20,12 +24,16 @@ import (
 	"mpsocsim/internal/platform"
 )
 
-var benchOpts = experiments.Options{Scale: 0.25, Seed: 1}
+var benchOpts = experiments.Options{Scale: 0.25, Seed: 1, Workers: 1}
 
 func BenchmarkSec411ManyToMany(b *testing.B) {
 	var last experiments.Sec411Result
 	for i := 0; i < b.N; i++ {
-		last = experiments.Sec411(benchOpts, []float64{0})
+		var err error
+		last, err = experiments.Sec411(benchOpts, []float64{0})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	p := last.Points[0]
 	b.ReportMetric(float64(p.AHB)/float64(p.STBus), "ahb/stbus")
@@ -35,7 +43,11 @@ func BenchmarkSec411ManyToMany(b *testing.B) {
 func BenchmarkSec412ManyToOne(b *testing.B) {
 	var last experiments.Series
 	for i := 0; i < b.N; i++ {
-		last = experiments.Sec412(benchOpts)
+		var err error
+		last, err = experiments.Sec412(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	base := float64(last.Entries[0].Cycles)
 	b.ReportMetric(float64(last.Entries[1].Cycles)/base, "ahb/stbus")
@@ -45,7 +57,11 @@ func BenchmarkSec412ManyToOne(b *testing.B) {
 func BenchmarkFig3PlatformInstances(b *testing.B) {
 	var last experiments.Series
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig3(benchOpts)
+		var err error
+		last, err = experiments.Fig3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	by := map[string]float64{}
 	for _, e := range last.Entries {
@@ -59,16 +75,37 @@ func BenchmarkFig3PlatformInstances(b *testing.B) {
 func BenchmarkFig4MemorySpeedSweep(b *testing.B) {
 	var last experiments.Fig4Result
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig4(benchOpts, []int{0, 8, 32})
+		var err error
+		last, err = experiments.Fig4(benchOpts, []int{0, 8, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.Points[0].Ratio, "ratio@fast")
 	b.ReportMetric(last.Points[len(last.Points)-1].Ratio, "ratio@slow")
 }
 
+// BenchmarkFig4MemorySpeedSweepParallel is the same sweep through the
+// worker pool at -j 4; comparing ns/op against the serial benchmark above
+// shows the runner's wall-clock win on multi-core machines.
+func BenchmarkFig4MemorySpeedSweepParallel(b *testing.B) {
+	opts := benchOpts
+	opts.Workers = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(opts, []int{0, 8, 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig5LMIPlatforms(b *testing.B) {
 	var last experiments.Series
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig5(benchOpts)
+		var err error
+		last, err = experiments.Fig5(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	by := map[string]float64{}
 	for _, e := range last.Entries {
@@ -82,7 +119,11 @@ func BenchmarkFig5LMIPlatforms(b *testing.B) {
 func BenchmarkFig6LMIStatistics(b *testing.B) {
 	var last experiments.Fig6Report
 	for i := 0; i < b.N; i++ {
-		last = experiments.Fig6(benchOpts)
+		var err error
+		last, err = experiments.Fig6(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.PhaseA.FullFrac, "phaseA_full")
 	b.ReportMetric(last.PhaseB.EmptyFrac, "phaseB_empty")

@@ -9,15 +9,24 @@
 //	experiments fig6     fine-grain LMI bus-interface statistics
 //	experiments all      everything above
 //
-// The -scale flag shrinks or grows the workload; results are reported as
-// cycle counts and normalized execution times, to be compared in shape (who
-// wins, by what factor) against the paper.
+// The -scale flag shrinks or grows the workload; -j bounds how many
+// independent simulation runs execute concurrently (default: all CPUs,
+// -j 1 restores serial execution — the output is byte-identical either
+// way). Results are reported as cycle counts and normalized execution
+// times, to be compared in shape (who wins, by what factor) against the
+// paper.
+//
+// `experiments ablations [variant]` runs one named ablation (messaging,
+// stbus-types, sdr-ddr, bridge-latency) or, with no variant, all of them.
+// Under `all`, a failed figure is reported on stderr and the remaining
+// figures still regenerate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mpsocsim/internal/area"
 	"mpsocsim/internal/bridge"
@@ -29,39 +38,80 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
+	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs (1 = serial)")
+	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|ablations|area|latency|all\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|ablations [variant]|area|latency|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	args := flag.Args()
+	if len(args) > 1 {
+		// Accept flags after the subcommand too (`experiments all -j 8`):
+		// the stdlib parser stops at the first positional argument, so
+		// re-parse whatever followed it.
+		flag.CommandLine.Parse(args[1:])
+		args = append(args[:1], flag.Args()...)
+	}
+	if len(args) < 1 || (len(args) > 1 && args[0] != "ablations") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed}
-	if err := run(flag.Arg(0), o); err != nil {
+	o := experiments.Options{Scale: *scale, Seed: *seed, Workers: *jobs}
+	if !*quiet {
+		o.Progress = os.Stderr
+	}
+	if err := run(args[0], args[1:], o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, o experiments.Options) error {
+func run(which string, rest []string, o experiments.Options) error {
 	w := os.Stdout
 	switch which {
 	case "sec411":
-		return experiments.Sec411(o, nil).Write(w)
+		r, err := experiments.Sec411(o, nil)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "sec412":
-		return experiments.Sec412(o).Write(w)
+		r, err := experiments.Sec412(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "fig3":
-		return experiments.Fig3(o).Write(w)
+		r, err := experiments.Fig3(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "fig4":
-		return experiments.Fig4(o, nil).Write(w)
+		r, err := experiments.Fig4(o, nil)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "fig5":
-		return experiments.Fig5(o).Write(w)
+		r, err := experiments.Fig5(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "fig6":
-		return experiments.Fig6(o).Write(w)
+		r, err := experiments.Fig6(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "latency":
-		return experiments.Latency(o).Write(w)
+		r, err := experiments.Latency(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "area":
 		fmt.Fprintln(w, "== First-order component cost (paper §3.2's bridge-area remark) ==")
 		fmt.Fprintln(w)
@@ -79,31 +129,55 @@ func run(which string, o experiments.Options) error {
 		_, err := fmt.Fprintln(w)
 		return err
 	case "ablations":
-		if err := experiments.AblationMessaging(o).Write(w); err != nil {
-			return err
-		}
-		if err := experiments.AblationSTBusTypes(o).Write(w); err != nil {
-			return err
-		}
-		if err := experiments.AblationSDRvsDDR(o).Write(w); err != nil {
-			return err
-		}
-		return experiments.BridgeLatencySweep(o, nil).Write(w)
-	case "all":
-		for _, f := range []func() error{
-			func() error { return experiments.Sec411(o, nil).Write(w) },
-			func() error { return experiments.Sec412(o).Write(w) },
-			func() error { return experiments.Fig3(o).Write(w) },
-			func() error { return experiments.Fig4(o, nil).Write(w) },
-			func() error { return experiments.Fig5(o).Write(w) },
-			func() error { return experiments.Fig6(o).Write(w) },
-		} {
-			if err := f(); err != nil {
-				return err
+		if len(rest) > 0 {
+			for _, variant := range rest {
+				if err := experiments.RunAblation(w, variant, o); err != nil {
+					return err
+				}
 			}
+			return nil
+		}
+		return experiments.RunAllAblations(w, o)
+	case "all":
+		// A crashed or non-draining figure must not kill the whole
+		// regeneration: report it and keep going (the runner has
+		// already converted per-run panics into errors).
+		var failed int
+		for _, fig := range []struct {
+			name string
+			run  func() error
+		}{
+			{"sec411", func() error {
+				r, err := experiments.Sec411(o, nil)
+				return writeOr(err, func() error { return r.Write(w) })
+			}},
+			{"sec412", func() error { r, err := experiments.Sec412(o); return writeOr(err, func() error { return r.Write(w) }) }},
+			{"fig3", func() error { r, err := experiments.Fig3(o); return writeOr(err, func() error { return r.Write(w) }) }},
+			{"fig4", func() error {
+				r, err := experiments.Fig4(o, nil)
+				return writeOr(err, func() error { return r.Write(w) })
+			}},
+			{"fig5", func() error { r, err := experiments.Fig5(o); return writeOr(err, func() error { return r.Write(w) }) }},
+			{"fig6", func() error { r, err := experiments.Fig6(o); return writeOr(err, func() error { return r.Write(w) }) }},
+		} {
+			if err := fig.run(); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", fig.name, err)
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of 6 figures failed", failed)
 		}
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
 	}
+}
+
+// writeOr renders the result only when the run succeeded.
+func writeOr(err error, write func() error) error {
+	if err != nil {
+		return err
+	}
+	return write()
 }

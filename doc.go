@@ -9,7 +9,8 @@
 // generators (internal/iptg), an LMI-style SDRAM memory controller
 // (internal/lmi + internal/sdram), a VLIW DSP core model
 // (internal/dspcore), and platform assembly plus the paper's experiments
-// (internal/platform, internal/experiments).
+// (internal/platform, internal/experiments), fanned out across a
+// deterministic worker pool (internal/runner).
 //
 // Entry points: cmd/mpsocsim runs one platform instance; cmd/experiments
 // regenerates every table and figure of the paper; examples/ contains four

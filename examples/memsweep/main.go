@@ -15,7 +15,11 @@ import (
 )
 
 func main() {
-	r := experiments.Fig4(experiments.Options{Scale: 0.5}, []int{0, 1, 2, 4, 8, 16, 32})
+	r, err := experiments.Fig4(experiments.Options{Scale: 0.5}, []int{0, 1, 2, 4, 8, 16, 32})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsweep:", err)
+		os.Exit(1)
+	}
 	fmt.Println("wait_states,distributed_cycles,collapsed_cycles,ratio")
 	for _, p := range r.Points {
 		fmt.Printf("%d,%d,%d,%.4f\n", p.WaitStates, p.Distributed, p.Collapsed, p.Ratio)

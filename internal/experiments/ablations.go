@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mpsocsim/internal/platform"
+	"mpsocsim/internal/runner"
 	"mpsocsim/internal/stats"
 	"mpsocsim/internal/stbus"
 )
@@ -19,12 +20,13 @@ type AblationMessagingResult struct {
 	Cells [2][2]int64
 }
 
-// AblationMessaging runs the 2x2 messaging/optimizer cross.
-func AblationMessaging(o Options) AblationMessagingResult {
+// AblationMessaging runs the 2x2 messaging/optimizer cross; the four cells
+// are independent and execute concurrently.
+func AblationMessaging(o Options) (AblationMessagingResult, error) {
 	o.normalize()
-	var out AblationMessagingResult
-	for mi, msg := range []bool{false, true} {
-		for oi, opt := range []bool{false, true} {
+	var jobs []runner.Job[int64]
+	for _, msg := range []bool{false, true} {
+		for _, opt := range []bool{false, true} {
 			s := baseSpec(o)
 			s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 			s.NoMessageArbitration = !msg
@@ -32,10 +34,20 @@ func AblationMessaging(o Options) AblationMessagingResult {
 				s.LMI.LookaheadDepth = 0
 				s.LMI.OpcodeMerging = false
 			}
-			out.Cells[mi][oi] = runPlatform(s).CentralCycles
+			jobs = append(jobs, cycleJob(fmt.Sprintf("msg=%v/opt=%v", msg, opt), s))
 		}
 	}
-	return out
+	cycles, err := runner.Values(runner.Map(jobs, o.pool("ablation-messaging")))
+	if err != nil {
+		return AblationMessagingResult{}, err
+	}
+	var out AblationMessagingResult
+	for mi := 0; mi < 2; mi++ {
+		for oi := 0; oi < 2; oi++ {
+			out.Cells[mi][oi] = cycles[2*mi+oi]
+		}
+	}
+	return out, nil
 }
 
 // Write renders the cross table.
@@ -68,18 +80,26 @@ func (r AblationMessagingResult) Write(w io.Writer) error {
 
 // AblationSTBusTypes compares the three STBus protocol generations on the
 // full distributed platform with the LMI (paper §3.1's Type 1/2/3 ladder).
-func AblationSTBusTypes(o Options) Series {
+func AblationSTBusTypes(o Options) (Series, error) {
 	o.normalize()
-	mk := func(t stbus.Type) int64 {
+	mk := func(name string, t stbus.Type) runner.Job[int64] {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 		s.STBusType = t
-		return runPlatform(s).CentralCycles
+		return cycleJob(name, s)
+	}
+	cycles, err := runner.Values(runner.Map([]runner.Job[int64]{
+		mk("Type 3", stbus.Type3),
+		mk("Type 2", stbus.Type2),
+		mk("Type 1", stbus.Type1),
+	}, o.pool("ablation-stbus-types")))
+	if err != nil {
+		return Series{}, err
 	}
 	entries := []Entry{
-		{Name: "Type 3", Cycles: mk(stbus.Type3), Note: "out-of-order, shaped packets"},
-		{Name: "Type 2", Cycles: mk(stbus.Type2), Note: "in-order, posted writes"},
-		{Name: "Type 1", Cycles: mk(stbus.Type1), Note: "one outstanding, blocking"},
+		{Name: "Type 3", Cycles: cycles[0], Note: "out-of-order, shaped packets"},
+		{Name: "Type 2", Cycles: cycles[1], Note: "in-order, posted writes"},
+		{Name: "Type 1", Cycles: cycles[2], Note: "one outstanding, blocking"},
 	}
 	normalizeEntries(entries)
 	return Series{
@@ -88,23 +108,30 @@ func AblationSTBusTypes(o Options) Series {
 			"reordering benefit); Type 1 far behind (every transaction blocks its\n" +
 			"initiator, so the LMI input FIFO starves).",
 		Entries: entries,
-	}
+	}, nil
 }
 
 // AblationSDRvsDDR contrasts the LMI driving an SDR device against the DDR
 // configuration (the controller "can drive both SDR and DDR SDRAM memory
 // devices", paper §3.1) on the full platform.
-func AblationSDRvsDDR(o Options) Series {
+func AblationSDRvsDDR(o Options) (Series, error) {
 	o.normalize()
-	mk := func(ddr bool) int64 {
+	mk := func(name string, ddr bool) runner.Job[int64] {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 		s.LMI.SDRAM.DDR = ddr
-		return runPlatform(s).CentralCycles
+		return cycleJob(name, s)
+	}
+	cycles, err := runner.Values(runner.Map([]runner.Job[int64]{
+		mk("DDR", true),
+		mk("SDR", false),
+	}, o.pool("ablation-sdr-ddr")))
+	if err != nil {
+		return Series{}, err
 	}
 	entries := []Entry{
-		{Name: "DDR", Cycles: mk(true), Note: "2 columns per controller cycle"},
-		{Name: "SDR", Cycles: mk(false), Note: "1 column per controller cycle"},
+		{Name: "DDR", Cycles: cycles[0], Note: "2 columns per controller cycle"},
+		{Name: "SDR", Cycles: cycles[1], Note: "1 column per controller cycle"},
 	}
 	normalizeEntries(entries)
 	return Series{
@@ -112,7 +139,7 @@ func AblationSDRvsDDR(o Options) Series {
 		Caption: "Expected shape: the DDR device sustains roughly twice the data-bus\n" +
 			"bandwidth, so the memory-bound platform completes sooner on DDR.",
 		Entries: entries,
-	}
+	}, nil
 }
 
 // AblationBridgeLatency sweeps the cluster-bridge pipeline latency on the
@@ -123,21 +150,28 @@ type AblationBridgeLatency struct {
 	Cycles    []int64
 }
 
-// BridgeLatencySweep runs the sweep.
-func BridgeLatencySweep(o Options, latencies []int) AblationBridgeLatency {
+// BridgeLatencySweep runs the sweep. A nil/empty latencies slice selects
+// the default ladder; latencies below one destination cycle are rejected.
+func BridgeLatencySweep(o Options, latencies []int) (AblationBridgeLatency, error) {
 	o.normalize()
 	if len(latencies) == 0 {
 		latencies = []int{1, 2, 4, 8, 16}
 	}
-	var out AblationBridgeLatency
+	var jobs []runner.Job[int64]
 	for _, lat := range latencies {
+		if lat < 1 {
+			return AblationBridgeLatency{}, fmt.Errorf("bridge latency sweep: latency %d below 1 cycle", lat)
+		}
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 		s.BridgeLatency = lat
-		out.Latencies = append(out.Latencies, lat)
-		out.Cycles = append(out.Cycles, runPlatform(s).CentralCycles)
+		jobs = append(jobs, cycleJob(fmt.Sprintf("latency %d", lat), s))
 	}
-	return out
+	cycles, err := runner.Values(runner.Map(jobs, o.pool("ablation-bridge-latency")))
+	if err != nil {
+		return AblationBridgeLatency{}, err
+	}
+	return AblationBridgeLatency{Latencies: latencies, Cycles: cycles}, nil
 }
 
 // Write renders the sweep.
@@ -156,4 +190,66 @@ func (r AblationBridgeLatency) Write(w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// ablationVariants maps CLI variant names to their run-and-render entry
+// points. Each variant writes its own report.
+var ablationVariants = map[string]func(Options, io.Writer) error{
+	"messaging": func(o Options, w io.Writer) error {
+		r, err := AblationMessaging(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
+	},
+	"stbus-types": func(o Options, w io.Writer) error {
+		r, err := AblationSTBusTypes(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
+	},
+	"sdr-ddr": func(o Options, w io.Writer) error {
+		r, err := AblationSDRvsDDR(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
+	},
+	"bridge-latency": func(o Options, w io.Writer) error {
+		r, err := BridgeLatencySweep(o, nil)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
+	},
+}
+
+// ablationOrder is the canonical reporting order (the order the ablations
+// were introduced in, kept stable so regenerated reports diff cleanly).
+var ablationOrder = []string{"messaging", "stbus-types", "sdr-ddr", "bridge-latency"}
+
+// AblationNames lists the valid ablation variant names in reporting order.
+func AblationNames() []string {
+	return append([]string(nil), ablationOrder...)
+}
+
+// RunAblation runs one named ablation variant and writes its report. An
+// unknown name is an error listing the valid variants.
+func RunAblation(w io.Writer, name string, o Options) error {
+	f, ok := ablationVariants[name]
+	if !ok {
+		return fmt.Errorf("unknown ablation variant %q (valid: %v)", name, AblationNames())
+	}
+	return f(o, w)
+}
+
+// RunAllAblations runs every ablation variant in name order.
+func RunAllAblations(w io.Writer, o Options) error {
+	for _, name := range AblationNames() {
+		if err := RunAblation(w, name, o); err != nil {
+			return fmt.Errorf("ablation %s: %w", name, err)
+		}
+	}
+	return nil
 }

@@ -8,7 +8,10 @@ import (
 )
 
 func TestAblationMessaging(t *testing.T) {
-	r := AblationMessaging(small)
+	r, err := AblationMessaging(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	worst := r.Cells[0][0] // no messaging, FCFS controller
 	best := r.Cells[1][1]  // messaging + optimizer
 	if best >= worst {
@@ -28,7 +31,10 @@ func TestAblationMessaging(t *testing.T) {
 }
 
 func TestAblationSTBusTypes(t *testing.T) {
-	s := AblationSTBusTypes(small)
+	s, err := AblationSTBusTypes(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]Entry{}
 	for _, e := range s.Entries {
 		byName[e.Name] = e
@@ -46,7 +52,10 @@ func TestAblationSTBusTypes(t *testing.T) {
 }
 
 func TestAblationSDRvsDDR(t *testing.T) {
-	s := AblationSDRvsDDR(small)
+	s, err := AblationSDRvsDDR(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Entries) != 2 {
 		t.Fatalf("entries = %d", len(s.Entries))
 	}
@@ -61,7 +70,10 @@ func TestAblationSDRvsDDR(t *testing.T) {
 }
 
 func TestBridgeLatencySweep(t *testing.T) {
-	r := BridgeLatencySweep(small, []int{1, 16})
+	r, err := BridgeLatencySweep(small, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Cycles) != 2 {
 		t.Fatalf("points = %d", len(r.Cycles))
 	}
@@ -80,19 +92,75 @@ func TestBridgeLatencySweep(t *testing.T) {
 	}
 }
 
+func TestBridgeLatencySweepRejectsInvalidLatency(t *testing.T) {
+	for _, bad := range [][]int{{0}, {1, -2}} {
+		if _, err := BridgeLatencySweep(small, bad); err == nil {
+			t.Errorf("latencies %v must be rejected", bad)
+		}
+	}
+}
+
 func TestSTBusTypeLadderUsesAllTypes(t *testing.T) {
 	// guard against the ablation silently running one type
 	if stbus.Type1 == stbus.Type3 {
 		t.Fatal("impossible")
 	}
-	s := AblationSTBusTypes(small)
+	s, err := AblationSTBusTypes(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Entries) != 3 {
 		t.Fatalf("entries = %d", len(s.Entries))
 	}
 }
 
+func TestRunAblationUnknownVariant(t *testing.T) {
+	var sb strings.Builder
+	err := RunAblation(&sb, "no-such-ablation", small)
+	if err == nil {
+		t.Fatal("unknown variant must be rejected")
+	}
+	// the error must teach the caller the valid names
+	for _, name := range AblationNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list variant %q", err, name)
+		}
+	}
+	if sb.Len() != 0 {
+		t.Errorf("unknown variant must not write output, got %q", sb.String())
+	}
+}
+
+func TestAblationNamesCoverEveryVariant(t *testing.T) {
+	names := AblationNames()
+	if len(names) != len(ablationVariants) {
+		t.Fatalf("order list has %d names, registry has %d variants", len(names), len(ablationVariants))
+	}
+	for _, name := range names {
+		if _, ok := ablationVariants[name]; !ok {
+			t.Errorf("ordered name %q missing from registry", name)
+		}
+	}
+}
+
+func TestRunAblationByName(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform ablation dispatch is slow; covered unguarded in long mode")
+	}
+	var sb strings.Builder
+	if err := RunAblation(&sb, "sdr-ddr", small); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SDR vs DDR") {
+		t.Fatalf("dispatched report incomplete: %q", sb.String())
+	}
+}
+
 func TestLatencyReport(t *testing.T) {
-	r := Latency(small)
+	r, err := Latency(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Result.Done {
 		t.Fatal("latency run did not drain")
 	}

@@ -6,11 +6,16 @@ import (
 )
 
 // small keeps test runs quick while staying above the congestion threshold
-// where the paper's effects manifest.
-var small = Options{Scale: 0.25, Seed: 1}
+// where the paper's effects manifest. Workers: 2 exercises the parallel
+// fan-out in every shape test (determinism is asserted separately in
+// parallel_test.go).
+var small = Options{Scale: 0.25, Seed: 1, Workers: 2}
 
 func TestFig3ShapeAndRendering(t *testing.T) {
-	s := Fig3(small)
+	s, err := Fig3(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Entries) != 5 {
 		t.Fatalf("entries = %d", len(s.Entries))
 	}
@@ -42,7 +47,10 @@ func TestFig3ShapeAndRendering(t *testing.T) {
 }
 
 func TestFig4SweepShape(t *testing.T) {
-	r := Fig4(small, []int{0, 8})
+	r, err := Fig4(small, []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -62,8 +70,17 @@ func TestFig4SweepShape(t *testing.T) {
 	}
 }
 
+func TestFig4RejectsNegativeWaitStates(t *testing.T) {
+	if _, err := Fig4(small, []int{0, -1}); err == nil {
+		t.Fatal("negative wait states must be rejected")
+	}
+}
+
 func TestFig5Shape(t *testing.T) {
-	s := Fig5(small)
+	s, err := Fig5(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]Entry{}
 	for _, e := range s.Entries {
 		byName[e.Name] = e
@@ -81,7 +98,10 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Report(t *testing.T) {
-	r := Fig6(Options{Scale: 0.3, Seed: 1})
+	r, err := Fig6(Options{Scale: 0.3, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.PhaseA.FullFrac <= 0 {
 		t.Error("intense phase should see a full FIFO some of the time")
 	}
@@ -108,7 +128,10 @@ func TestFig6Report(t *testing.T) {
 }
 
 func TestSec411Shape(t *testing.T) {
-	r := Sec411(small, []float64{4, 0})
+	r, err := Sec411(small, []float64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -129,8 +152,17 @@ func TestSec411Shape(t *testing.T) {
 	}
 }
 
+func TestSec411RejectsNegativeGaps(t *testing.T) {
+	if _, err := Sec411(small, []float64{2, -0.5}); err == nil {
+		t.Fatal("negative gap means must be rejected")
+	}
+}
+
 func TestSec412Equality(t *testing.T) {
-	s := Sec412(small)
+	s, err := Sec412(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := s.Entries[0].Cycles
 	for _, e := range s.Entries {
 		d := float64(e.Cycles-base) / float64(base)
@@ -152,5 +184,8 @@ func TestOptionsDefaults(t *testing.T) {
 	o.normalize()
 	if o.Scale != 1 || o.Seed != 1 {
 		t.Fatalf("defaults: %+v", o)
+	}
+	if p := o.pool("x"); p.Workers != 0 || p.Label != "x" {
+		t.Fatalf("pool: %+v", p)
 	}
 }

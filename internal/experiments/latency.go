@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mpsocsim/internal/platform"
+	"mpsocsim/internal/runner"
 	"mpsocsim/internal/stats"
 )
 
@@ -17,12 +18,19 @@ type LatencyReport struct {
 	Result platform.Result
 }
 
-// Latency runs the reference platform and collects the decomposition.
-func Latency(o Options) LatencyReport {
+// Latency runs the reference platform and collects the decomposition. The
+// single run still goes through the runner for its panic capture.
+func Latency(o Options) (LatencyReport, error) {
 	o.normalize()
 	s := baseSpec(o)
 	s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
-	return LatencyReport{Result: runPlatform(s)}
+	r, err := runner.First(runner.Map([]runner.Job[platform.Result]{
+		platformJob("reference platform", s),
+	}, o.pool("latency")))
+	if err != nil {
+		return LatencyReport{}, err
+	}
+	return LatencyReport{Result: r}, nil
 }
 
 // Write renders the report.

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mpsocsim/internal/platform"
+	"mpsocsim/internal/runner"
+)
+
+// renderEverything regenerates every figure, ablation and the latency
+// report into one buffer — the full output surface of `experiments all` +
+// `experiments ablations` + `experiments latency`.
+func renderEverything(t *testing.T, o Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sec411, err := Sec411(o, []float64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sec411.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sec412, err := Sec412(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sec412.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig3.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := Fig4(o, []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig4.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig5.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig6.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := Latency(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAllAblations(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelOutputIsByteIdentical pins the runner's submission-order
+// contract end to end: regenerating every figure with -j 4 must produce
+// byte-identical reports to -j 1 (DESIGN §10).
+func TestParallelOutputIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure twice")
+	}
+	o := Options{Scale: 0.2, Seed: 1}
+	o.Workers = 1
+	serial := renderEverything(t, o)
+	o.Workers = 4
+	parallel := renderEverything(t, o)
+	if serial != parallel {
+		t.Fatalf("-j 4 output differs from -j 1 output:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "Fig.3") || !strings.Contains(serial, "bridge latency sweep") {
+		t.Fatal("render surface incomplete")
+	}
+}
+
+// TestPlatformJobReportsBuildErrors pins the error plumbing: an invalid
+// spec surfaces as a named job error, not a panic or an os.Exit.
+func TestPlatformJobReportsBuildErrors(t *testing.T) {
+	s := platform.DefaultSpec()
+	s.Memory = platform.MemoryKind(99)
+	_, err := runner.First(runner.Map([]runner.Job[platform.Result]{
+		platformJob("bad-spec", s),
+	}, runner.Options{Workers: 2}))
+	if err == nil || !strings.Contains(err.Error(), "bad-spec") {
+		t.Fatalf("want named job error, got %v", err)
+	}
+}
+
+// TestParallelSpeedupFig4 demonstrates the wall-clock win the runner
+// exists for: the Fig.4 memory-latency sweep at -j 4 must run at least
+// twice as fast as -j 1 on a machine with >= 4 CPUs. On smaller machines
+// the test skips (the byte-identity and determinism tests still pin
+// correctness there).
+func TestParallelSpeedupFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	o := Options{Scale: 0.5, Seed: 1}
+	sweep := []int{0, 1, 2, 4, 8, 16, 32}
+
+	o.Workers = 1
+	start := time.Now()
+	if _, err := Fig4(o, sweep); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	o.Workers = 4
+	start = time.Now()
+	if _, err := Fig4(o, sweep); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(start)
+
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("fig4 sweep: serial %v, -j 4 %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 2.0 {
+		t.Errorf("-j 4 speedup %.2fx, want >= 2x", speedup)
+	}
+}

@@ -1,0 +1,75 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"mpsocsim/internal/runner"
+)
+
+// goldenSpecs are the three reference configurations the golden cycle
+// counts pin; the determinism tests reuse them so the "no map-iteration
+// order, no shared PRNG" guarantee of DESIGN §4 is checked on exactly the
+// configurations whose numbers we promise to hold.
+func goldenSpecs() map[string]Spec {
+	return map[string]Spec{
+		"stbus-distributed-lmi":  quick(STBus, Distributed, LMIDDR),
+		"ahb-distributed-onchip": quick(AHB, Distributed, OnChip),
+		"axi-collapsed-lmi":      quick(AXI, Collapsed, LMIDDR),
+	}
+}
+
+// TestDeterministicResults runs each golden spec twice and requires the
+// two Results to be bit-identical — not just the cycle count, but every
+// statistic, histogram and monitor window. Any divergence means hidden
+// shared state (a global PRNG, map-iteration order leaking into the
+// schedule) has crept into the simulator.
+func TestDeterministicResults(t *testing.T) {
+	for name, spec := range goldenSpecs() {
+		t.Run(name, func(t *testing.T) {
+			a := runCycles(t, spec)
+			b := runCycles(t, spec)
+			if a.CentralCycles != b.CentralCycles {
+				t.Fatalf("cycle count not reproducible: %d vs %d", a.CentralCycles, b.CentralCycles)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("two runs of %s produced different Results:\n%+v\nvs\n%+v", spec.Name(), a, b)
+			}
+		})
+	}
+}
+
+// TestDeterministicUnderParallelRunner runs the same golden specs through
+// the worker pool at -j 4 and requires every Result to match its serial
+// twin — the concurrency layer must not perturb any run.
+func TestDeterministicUnderParallelRunner(t *testing.T) {
+	specs := goldenSpecs()
+	var names []string
+	var jobs []runner.Job[Result]
+	serial := map[string]Result{}
+	for name, spec := range specs {
+		spec := spec
+		names = append(names, name)
+		serial[name] = runCycles(t, spec)
+		jobs = append(jobs, runner.Job[Result]{Name: name, Run: func() (Result, error) {
+			p, err := Build(spec)
+			if err != nil {
+				return Result{}, err
+			}
+			return p.Run(5e12), nil
+		}})
+	}
+	results, err := runner.Values(runner.Map(jobs, runner.Options{Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if !results[i].Done {
+			t.Fatalf("%s did not drain under the parallel runner", name)
+		}
+		if !reflect.DeepEqual(results[i], serial[name]) {
+			t.Errorf("%s: parallel Result differs from serial Result (cycles %d vs %d)",
+				name, results[i].CentralCycles, serial[name].CentralCycles)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package runner fans independent simulation jobs out across a bounded
+// worker pool. Every platform run in this repository is hermetic — a
+// Spec-derived closure with no shared mutable state — so regenerating a
+// figure is an embarrassingly parallel map. The runner exploits that while
+// preserving the one property the experiment harness depends on: results
+// come back in submission order, so tables, CSVs and golden numbers are
+// byte-identical to a serial regeneration regardless of worker count.
+//
+// A job that panics does not kill the whole regeneration: the panic is
+// recovered, wrapped in a *PanicError (with the job name and stack) and
+// reported as that job's error, so one crashed simulation leaves every
+// other figure intact.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one named unit of work: typically a closure over a platform.Spec
+// that builds, runs and summarizes one simulation instance.
+type Job[T any] struct {
+	Name string
+	Run  func() (T, error)
+}
+
+// Result pairs a job with its outcome. Map returns results in submission
+// order: Results[i] always corresponds to jobs[i].
+type Result[T any] struct {
+	Name    string
+	Value   T
+	Err     error
+	Elapsed time.Duration
+}
+
+// PanicError is the error reported for a job whose Run panicked.
+type PanicError struct {
+	Name  string
+	Value any
+	Stack []byte
+}
+
+// Error summarizes the panic; the captured stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %q panicked: %v", e.Name, e.Value)
+}
+
+// Options tune a Map call. The zero value selects runtime.NumCPU() workers
+// and no progress output.
+type Options struct {
+	// Workers bounds concurrently running jobs. <= 0 selects
+	// runtime.NumCPU(); 1 runs the jobs serially in the calling
+	// goroutine (the -j 1 escape hatch).
+	Workers int
+	// Progress, when non-nil, receives a live single-line progress/ETA
+	// display (carriage-return overwritten, newline-terminated at the
+	// end). Pass os.Stderr from a CLI; leave nil in tests.
+	Progress io.Writer
+	// Label prefixes the progress line (e.g. "fig4").
+	Label string
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// Map runs every job under the options' worker bound and returns the
+// results in submission order. It never returns early: every job runs (or
+// records its panic) even when earlier jobs failed.
+func Map[T any](jobs []Job[T], opts Options) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	prog := newProgress(opts.Progress, opts.Label, len(jobs))
+	run := func(i int) {
+		start := time.Now()
+		results[i].Name = jobs[i].Name
+		results[i].Value, results[i].Err = capture(jobs[i])
+		results[i].Elapsed = time.Since(start)
+		prog.step(jobs[i].Name)
+	}
+
+	workers := opts.workers()
+	if workers == 1 || len(jobs) == 1 {
+		for i := range jobs {
+			run(i)
+		}
+		prog.finish()
+		return results
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				run(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	prog.finish()
+	return results
+}
+
+// capture runs one job, converting a panic into a *PanicError.
+func capture[T any](j Job[T]) (value T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Name: j.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run()
+}
+
+// Values unpacks results into their values. All job errors are joined (and
+// prefixed with the job name) so a caller can fan out, then fail once.
+func Values[T any](results []Result[T]) ([]T, error) {
+	values := make([]T, len(results))
+	var errs []error
+	for i, r := range results {
+		values[i] = r.Value
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Name, r.Err))
+		}
+	}
+	return values, errors.Join(errs...)
+}
+
+// First returns the single value of a one-job Map, for callers that use
+// the runner only for its panic capture.
+func First[T any](results []Result[T]) (T, error) {
+	values, err := Values(results)
+	if len(values) == 0 {
+		var zero T
+		return zero, err
+	}
+	return values[0], err
+}
+
+// progress renders the live completion line. All methods are safe for
+// concurrent use; a nil writer disables everything at ~zero cost.
+type progress struct {
+	w     io.Writer
+	label string
+	total int
+	start time.Time
+
+	mu   sync.Mutex
+	done atomic.Int64
+}
+
+func newProgress(w io.Writer, label string, total int) *progress {
+	return &progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+func (p *progress) step(name string) {
+	if p.w == nil {
+		return
+	}
+	done := int(p.done.Add(1))
+	elapsed := time.Since(p.start)
+	var eta time.Duration
+	if done > 0 {
+		eta = time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s[%d/%d] %-24s %s elapsed, eta %s   ",
+		p.prefix(), done, p.total, name, elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+}
+
+func (p *progress) finish() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s[%d/%d] done in %s%s\n",
+		p.prefix(), p.done.Load(), p.total, time.Since(p.start).Round(time.Millisecond),
+		"                              ")
+}
+
+func (p *progress) prefix() string {
+	if p.label == "" {
+		return ""
+	}
+	return p.label + " "
+}

@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func jobN(i int) Job[int] {
+	return Job[int]{Name: fmt.Sprintf("job%d", i), Run: func() (int, error) { return i * i, nil }}
+}
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var jobs []Job[int]
+		for i := 0; i < 40; i++ {
+			jobs = append(jobs, jobN(i))
+		}
+		results := Map(jobs, Options{Workers: workers})
+		if len(results) != 40 {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: job %d: %v", workers, i, r.Err)
+			}
+			if r.Value != i*i || r.Name != fmt.Sprintf("job%d", i) {
+				t.Fatalf("workers=%d: result %d out of order: %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	var jobs []Job[int]
+	for i := 0; i < 24; i++ {
+		jobs = append(jobs, Job[int]{Name: "j", Run: func() (int, error) {
+			n := inFlight.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			defer inFlight.Add(-1)
+			return 0, nil
+		}})
+	}
+	Map(jobs, Options{Workers: workers})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", p, workers)
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	jobs := []Job[int]{
+		jobN(1),
+		{Name: "boom", Run: func() (int, error) { panic("simulated crash") }},
+		jobN(3),
+	}
+	results := Map(jobs, Options{Workers: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs should survive a sibling panic: %v %v", results[0].Err, results[2].Err)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("want *PanicError, got %v", results[1].Err)
+	}
+	if pe.Name != "boom" || !strings.Contains(pe.Error(), "simulated crash") || len(pe.Stack) == 0 {
+		t.Fatalf("panic not fully captured: %+v", pe)
+	}
+}
+
+func TestValuesJoinsNamedErrors(t *testing.T) {
+	results := Map([]Job[int]{
+		jobN(2),
+		{Name: "bad", Run: func() (int, error) { return 0, errors.New("did not drain") }},
+	}, Options{Workers: 1})
+	values, err := Values(results)
+	if values[0] != 4 {
+		t.Fatalf("values = %v", values)
+	}
+	if err == nil || !strings.Contains(err.Error(), "bad: did not drain") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	v, err := First(Map([]Job[string]{{Name: "only", Run: func() (string, error) { return "ok", nil }}}, Options{}))
+	if err != nil || v != "ok" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	if _, err := First(Map[string](nil, Options{})); err != nil {
+		t.Fatalf("empty First: %v", err)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	var sb strings.Builder
+	Map([]Job[int]{jobN(0), jobN(1)}, Options{Workers: 1, Progress: &sb, Label: "fig4"})
+	out := sb.String()
+	for _, want := range []string{"fig4 [1/2]", "fig4 [2/2]", "eta", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%q", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("progress must end with a newline: %q", out)
+	}
+}
+
+func TestEmptyMap(t *testing.T) {
+	if got := Map[int](nil, Options{Progress: &strings.Builder{}}); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
