@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench benchquick
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,12 @@ race:
 
 verify: vet build test race
 
+# Perf-trajectory snapshot: benchmarks the simulator and refreshes
+# BENCH_2.json (ns/op, allocs/op, simulated cycles per second, speedup vs
+# the frozen pre-optimization baseline). `make benchquick` is the smoke
+# variant CI runs: every benchmark once, no JSON.
 bench:
+	$(GO) run ./cmd/bench
+
+benchquick:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,0 +1,180 @@
+// Command bench is the repo's performance-trajectory harness: it benchmarks
+// the simulator on the reference platform and on the paper's figure sweeps,
+// derives simulated-cycles-per-second, and writes a machine-readable
+// BENCH_<n>.json snapshot next to the previous ones, so the cycles/sec
+// trajectory across PRs lives in the repo itself.
+//
+//	go run ./cmd/bench            # writes BENCH_2.json in the cwd
+//	go run ./cmd/bench -o out.json
+//
+// Every entry reports ns/op, B/op, allocs/op and, where a run simulates a
+// known number of central-clock cycles, cycles/op and cycles/sec. The file
+// also embeds the frozen pre-optimization baseline for the reference
+// platform so the speedup is visible without digging through git history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpsocsim/internal/experiments"
+	"mpsocsim/internal/platform"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// CyclesPerOp is the number of central-clock cycles one op simulates
+	// (0 when the op is a multi-platform sweep with no single meaning).
+	CyclesPerOp float64 `json:"cycles_per_op,omitempty"`
+	// CyclesPerSec is the headline simulator-speed metric.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// Baseline freezes the pre-optimization reference measurement this PR is
+// compared against.
+type Baseline struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	CyclesPerOp float64 `json:"cycles_per_op"`
+	Note        string  `json:"note"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []Entry  `json:"benchmarks"`
+	Baseline   Baseline `json:"baseline"`
+	// SpeedupNsPerOp is baseline ns/op divided by current reference ns/op.
+	SpeedupNsPerOp float64 `json:"speedup_ns_per_op"`
+}
+
+// referenceBaseline was measured at the seed of this PR (commit 85de9db,
+// same benchmark body, same machine class). Keep it frozen: it is the
+// denominator of the trajectory, not a moving target.
+var referenceBaseline = Baseline{
+	Name:        "reference_platform",
+	NsPerOp:     30337411,
+	BytesPerOp:  6121232,
+	AllocsPerOp: 250138,
+	CyclesPerOp: 15356,
+	Note:        "pre-optimization seed: per-step min-scan+sort kernel, slice-churn FIFOs, unpooled requests",
+}
+
+func main() {
+	out := flag.String("o", "BENCH_2.json", "output file")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: 0.25, Seed: 1, Workers: 1}
+	var report Report
+	report.Generated = time.Now().UTC().Format(time.RFC3339)
+	report.GoVersion = runtime.Version()
+	report.NumCPU = runtime.NumCPU()
+	report.Baseline = referenceBaseline
+
+	run := func(name string, cycles func() float64, body func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			body(b)
+		})
+		e := Entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if cycles != nil {
+			e.CyclesPerOp = cycles()
+			if e.NsPerOp > 0 {
+				e.CyclesPerSec = e.CyclesPerOp / (e.NsPerOp * 1e-9)
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+		fmt.Printf("%-24s %12.0f ns/op %10d allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+		if e.CyclesPerSec > 0 {
+			fmt.Printf(" %12.0f cycles/sec", e.CyclesPerSec)
+		}
+		fmt.Println()
+	}
+
+	// Raw simulator speed on the default (distributed STBus + LMI + DSP)
+	// platform — the trajectory headline.
+	var refCycles int64
+	runReference := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := platform.DefaultSpec()
+			s.WorkloadScale = 0.25
+			p := platform.MustBuild(s)
+			r := p.Run(experiments.Budget)
+			if !r.Done {
+				b.Fatal("reference run did not drain")
+			}
+			refCycles = r.CentralCycles
+		}
+	}
+	run("reference_platform", func() float64 { return float64(refCycles) }, runReference)
+
+	// Single-layer §4.1 testbench: exercises the single-clock kernel fast
+	// path and the STBus response channels.
+	var slCycles int64
+	run("single_layer_stbus", func() float64 { return float64(slCycles) }, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sl, err := platform.BuildSingleLayer(platform.DefaultSingleLayerSpec(platform.STBus, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := sl.Run(int64(experiments.Budget))
+			if !r.Done {
+				b.Fatal("single-layer run did not drain")
+			}
+			slCycles = r.Cycles
+		}
+	})
+
+	// Figure sweeps: many platform builds + runs per op, so these track
+	// construction cost as well as steady-state speed.
+	run("fig3_platform_instances", nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig3(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("fig5_lmi_platforms", nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig5(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if ref := report.Benchmarks[0]; ref.NsPerOp > 0 {
+		report.SpeedupNsPerOp = report.Baseline.NsPerOp / ref.NsPerOp
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("speedup vs baseline: %.2fx  ->  %s\n", report.SpeedupNsPerOp, *out)
+}

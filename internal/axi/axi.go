@@ -154,11 +154,15 @@ func (x *Interconnect) Eval() {
 // drainPipes moves matured register-stage entries into the ports, one per
 // pipe per cycle.
 func (x *Interconnect) drainPipes() {
+	// The pipes shift in place instead of re-slicing the front off, so
+	// their backing arrays are reused for the lifetime of the fabric.
 	for t := range x.ts {
 		pt := &x.ts[t]
 		if len(pt.reqPipe) > 0 && pt.reqPipe[0].at <= x.cycles && x.targets[t].Req.CanPush() {
 			x.targets[t].Req.Push(pt.reqPipe[0].req)
-			pt.reqPipe = pt.reqPipe[1:]
+			n := copy(pt.reqPipe, pt.reqPipe[1:])
+			pt.reqPipe[n] = pipedReq{}
+			pt.reqPipe = pt.reqPipe[:n]
 		}
 	}
 	for i := range x.is {
@@ -166,11 +170,15 @@ func (x *Interconnect) drainPipes() {
 		ip := x.initiators[i]
 		if len(pi.respPipeR) > 0 && pi.respPipeR[0].at <= x.cycles && ip.Resp.CanPush() {
 			ip.Resp.Push(pi.respPipeR[0].beat)
-			pi.respPipeR = pi.respPipeR[1:]
+			n := copy(pi.respPipeR, pi.respPipeR[1:])
+			pi.respPipeR[n] = pipedBeat{}
+			pi.respPipeR = pi.respPipeR[:n]
 		}
 		if len(pi.respPipeB) > 0 && pi.respPipeB[0].at <= x.cycles && ip.Resp.CanPush() {
 			ip.Resp.Push(pi.respPipeB[0].beat)
-			pi.respPipeB = pi.respPipeB[1:]
+			n := copy(pi.respPipeB, pi.respPipeB[1:])
+			pi.respPipeB[n] = pipedBeat{}
+			pi.respPipeB = pi.respPipeB[:n]
 		}
 	}
 }
@@ -371,7 +379,8 @@ func (x *Interconnect) retire(i int, id uint64) {
 	remove := func(ord []uint64) []uint64 {
 		for j, v := range ord {
 			if v == id {
-				return append(ord[:j:j], ord[j+1:]...)
+				copy(ord[j:], ord[j+1:])
+				return ord[:len(ord)-1]
 			}
 		}
 		return ord

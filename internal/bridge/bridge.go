@@ -145,6 +145,7 @@ type reqCtx struct {
 	src         int
 	ackPending  bool
 	finished    bool
+	inQ         bool  // still queued in perSrc or globalOrder
 	acceptCycle int64 // source-clock cycle of acceptance (residency stats)
 	// stash buffers already-converted upstream beats of a transaction
 	// whose turn has not come yet (InOrderUpstream reorder buffer);
@@ -194,6 +195,11 @@ type Bridge struct {
 	// initiator-side state
 	held []heldReq
 
+	// pool recycles downstream request clones (nil outside platform
+	// builds); ctxFree recycles reqCtx records the same way.
+	pool    *bus.RequestPool
+	ctxFree []*reqCtx
+
 	// statistics
 	accepted      int64
 	blockedCycles int64
@@ -232,6 +238,10 @@ func New(name string, cfg Config, srcClk, dstClk *sim.Clock) *Bridge {
 // Name returns the bridge instance name.
 func (b *Bridge) Name() string { return b.name }
 
+// UseRequestPool makes the bridge mint downstream clones from (and retire
+// them into) the given pool. Call before simulation starts.
+func (b *Bridge) UseRequestPool(p *bus.RequestPool) { b.pool = p }
+
 // TargetPort is the port to attach as a target on the source fabric.
 func (b *Bridge) TargetPort() *bus.TargetPort { return b.tport }
 
@@ -260,7 +270,9 @@ func (b *Bridge) drainEmitQ() {
 		return
 	}
 	beat := b.emitQ[0]
-	b.emitQ = b.emitQ[1:]
+	n := copy(b.emitQ, b.emitQ[1:])
+	b.emitQ[n] = bus.Beat{}
+	b.emitQ = b.emitQ[:n]
 	b.tport.Resp.Push(beat)
 }
 
@@ -336,11 +348,15 @@ func (b *Bridge) emitUp(ctx *reqCtx) {
 
 // drainGlobalOrder releases reorder-stashed responses in acceptance order.
 func (b *Bridge) drainGlobalOrder() {
-	for len(b.globalOrder) > 0 {
-		head := b.globalOrder[0]
+	done := 0
+	for done < len(b.globalOrder) {
+		head := b.globalOrder[done]
 		if len(head.stash) > 0 {
 			b.emitQ = append(b.emitQ, head.stash...)
-			head.stash = nil
+			for i := range head.stash {
+				head.stash[i] = bus.Beat{}
+			}
+			head.stash = head.stash[:0]
 		}
 		if head.ackPending {
 			head.ackPending = false
@@ -355,7 +371,18 @@ func (b *Bridge) drainGlobalOrder() {
 		if head.isRead {
 			b.finishRead(head)
 		}
-		b.globalOrder = b.globalOrder[1:]
+		head.inQ = false
+		b.maybeRelease(head)
+		done++
+	}
+	if done > 0 {
+		// Shift the survivors down in place so the order queue's backing
+		// array is reused, and clear the vacated tail slots.
+		n := copy(b.globalOrder, b.globalOrder[done:])
+		for i := n; i < len(b.globalOrder); i++ {
+			b.globalOrder[i] = nil
+		}
+		b.globalOrder = b.globalOrder[:n]
 	}
 }
 
@@ -373,6 +400,7 @@ func (b *Bridge) finishRead(ctx *reqCtx) {
 		b.outstanding--
 	}
 	delete(b.byDown, ctx.down)
+	b.pool.Put(ctx.down)
 	if !b.cfg.InOrderUpstream {
 		b.drainSrcOrder(ctx.src)
 	}
@@ -382,8 +410,9 @@ func (b *Bridge) finishRead(ctx *reqCtx) {
 // and releases write acks that were deferred behind them.
 func (b *Bridge) drainSrcOrder(src int) {
 	q := b.perSrc[src]
-	for len(q) > 0 {
-		head := q[0]
+	done := 0
+	for done < len(q) {
+		head := q[done]
 		if head.ackPending {
 			head.ackPending = false
 			head.finished = true
@@ -393,12 +422,18 @@ func (b *Bridge) drainSrcOrder(src int) {
 		if !head.finished {
 			break
 		}
-		q = q[1:]
+		head.inQ = false
+		b.maybeRelease(head)
+		done++
 	}
-	if len(q) == 0 {
-		delete(b.perSrc, src)
-	} else {
-		b.perSrc[src] = q
+	if done > 0 {
+		// Shift in place and keep the (possibly empty) entry so the
+		// per-source queue's backing array survives across transactions.
+		n := copy(q, q[done:])
+		for i := n; i < len(q); i++ {
+			q[i] = nil
+		}
+		b.perSrc[src] = q[:n]
 	}
 }
 
@@ -439,9 +474,11 @@ func (b *Bridge) acceptRequests() {
 			switch {
 			case b.cfg.InOrderUpstream && len(b.globalOrder) > 0:
 				ctx.ackPending = true
+				ctx.inQ = true
 				b.globalOrder = append(b.globalOrder, ctx)
 			case !b.cfg.InOrderUpstream && len(b.perSrc[ctx.src]) > 0:
 				ctx.ackPending = true
+				ctx.inQ = true
 				b.perSrc[ctx.src] = append(b.perSrc[ctx.src], ctx)
 			default:
 				ctx.finished = true
@@ -452,6 +489,7 @@ func (b *Bridge) acceptRequests() {
 	} else {
 		b.reads++
 		b.readsInFlight++
+		ctx.inQ = true
 		if b.cfg.InOrderUpstream {
 			b.globalOrder = append(b.globalOrder, ctx)
 		} else {
@@ -471,7 +509,9 @@ func (b *Bridge) forwardMatured() {
 	if head.ready > b.srcClk.Cycles() || !b.reqX.CanPush() {
 		return
 	}
-	b.delayLine = b.delayLine[1:]
+	n := copy(b.delayLine, b.delayLine[1:])
+	b.delayLine[n] = delayedReq{}
+	b.delayLine = b.delayLine[:n]
 	b.reqX.Push(head.ctx)
 }
 
@@ -483,7 +523,8 @@ func (b *Bridge) makeCtx(up *bus.Request) *reqCtx {
 	if downBeats < 1 {
 		downBeats = 1
 	}
-	down := &bus.Request{
+	down := b.pool.Get()
+	*down = bus.Request{
 		ID:           up.ID,
 		Origin:       up.Origin,
 		Op:           up.Op,
@@ -500,17 +541,42 @@ func (b *Bridge) makeCtx(up *bus.Request) *reqCtx {
 		down.MsgSeq = up.MsgSeq
 		down.MsgEnd = up.MsgEnd
 	}
-	ctx := &reqCtx{
-		up:      up,
-		down:    down,
-		isRead:  up.Op == bus.OpRead,
-		upBeats: up.Beats,
-	}
+	ctx := b.getCtx()
+	ctx.up = up
+	ctx.down = down
+	ctx.isRead = up.Op == bus.OpRead
+	ctx.upBeats = up.Beats
 	if !ctx.isRead {
 		ctx.upBeats = 1 // a write yields at most one upstream ack beat
 	}
 	b.byDown[down] = ctx
 	return ctx
+}
+
+// getCtx reuses a retired transaction record or allocates a fresh one.
+func (b *Bridge) getCtx() *reqCtx {
+	if n := len(b.ctxFree) - 1; n >= 0 {
+		ctx := b.ctxFree[n]
+		b.ctxFree[n] = nil
+		b.ctxFree = b.ctxFree[:n]
+		return ctx
+	}
+	return &reqCtx{}
+}
+
+// maybeRelease recycles a transaction record once nothing references it any
+// more: it has retired downstream, met its upstream obligations, and left
+// the ordering queues.
+func (b *Bridge) maybeRelease(ctx *reqCtx) {
+	if ctx == nil || ctx.inQ || !ctx.retired || !ctx.finished {
+		return
+	}
+	stash := ctx.stash
+	for i := range stash {
+		stash[i] = bus.Beat{}
+	}
+	*ctx = reqCtx{stash: stash[:0]}
+	b.ctxFree = append(b.ctxFree, ctx)
 }
 
 // ---- initiator side (destination clock domain) ----
@@ -541,11 +607,13 @@ func (b *Bridge) issueDownstream() {
 	if head.ready > b.dstClk.Cycles() || !b.iport.Req.CanPush() {
 		return
 	}
-	b.held = b.held[1:]
+	n := copy(b.held, b.held[1:])
+	b.held[n] = heldReq{}
+	b.held = b.held[:n]
 	b.iport.Req.Push(head.ctx.down)
 	if head.ctx.down.Op == bus.OpWrite && head.ctx.down.Posted {
 		// posted write: nothing will come back; retire now
-		b.retireWrite(head.ctx)
+		b.retireWrite(head.ctx, true)
 	}
 }
 
@@ -560,7 +628,7 @@ func (b *Bridge) collectDownstream() {
 	if beat.Req.Op == bus.OpWrite {
 		b.iport.Resp.Pop()
 		if ctx := b.byDown[beat.Req]; ctx != nil {
-			b.retireWrite(ctx)
+			b.retireWrite(ctx, false)
 		}
 		return
 	}
@@ -571,7 +639,14 @@ func (b *Bridge) collectDownstream() {
 	b.respX.Push(beat)
 }
 
-func (b *Bridge) retireWrite(ctx *reqCtx) {
+// retireWrite takes a write out of the bridge's accounting. postedForward
+// marks the posted-at-issue path: the downstream copy stays live in the
+// destination fabric (its eventual consumer reclaims it), while the upstream
+// original has no response obligation left and is reclaimed here. For the
+// acknowledged (non-posted) path the downstream copy just delivered its
+// final beat and is reclaimed, while the upstream original still backs the
+// initiator-facing ack and belongs to the initiator.
+func (b *Bridge) retireWrite(ctx *reqCtx, postedForward bool) {
 	if ctx.retired {
 		return
 	}
@@ -580,6 +655,13 @@ func (b *Bridge) retireWrite(ctx *reqCtx) {
 		b.outstanding--
 	}
 	delete(b.byDown, ctx.down)
+	if postedForward {
+		ctx.finished = true // a posted write has no upstream obligations
+		b.pool.Put(ctx.up)
+	} else {
+		b.pool.Put(ctx.down)
+	}
+	b.maybeRelease(ctx)
 }
 
 // Outstanding returns the number of transactions currently inside the

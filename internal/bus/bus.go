@@ -67,6 +67,10 @@ type Request struct {
 	// absolute picoseconds).
 	IssueCycle int64
 	IssuePS    int64
+
+	// pooled marks a request currently sitting in a RequestPool free list;
+	// it guards against double-Put lifecycle bugs.
+	pooled bool
 }
 
 // Bytes returns the total payload size of the burst.

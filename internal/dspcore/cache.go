@@ -57,8 +57,11 @@ func newCache(name string, cfg CacheConfig) (*cache, error) {
 		sets:    make([][]line, nSets),
 		setMask: uint64(nSets - 1),
 	}
+	// One contiguous slab for all ways of all sets: hundreds fewer
+	// allocations per cache and better lookup locality than per-set slices.
+	backing := make([]line, nSets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		c.lineBits++

@@ -63,6 +63,11 @@ type Core struct {
 	icache *cache
 	dcache *cache
 
+	// pool recycles bus requests (nil outside platform builds): refills
+	// return on their final beat; posted writes are reclaimed by the
+	// component that consumes them.
+	pool *bus.RequestPool
+
 	// pipeline state
 	fetchDone  bool        // current bundle's fetch completed
 	memOps     []pendingOp // memory ops of the current bundle, in order
@@ -130,6 +135,10 @@ func MustNew(cfg Config, prog Program, clk *sim.Clock, ids *bus.IDSource, origin
 	return c
 }
 
+// UseRequestPool makes the core mint requests from (and return them to) the
+// given pool. Call before simulation starts.
+func (c *Core) UseRequestPool(p *bus.RequestPool) { c.pool = p }
+
 // Port returns the initiator port to attach to a fabric.
 func (c *Core) Port() *bus.InitiatorPort { return c.port }
 
@@ -180,6 +189,10 @@ func (c *Core) collectRefill() {
 		if beat.Last && beat.Req.ID == c.refillID {
 			c.refillWait = false
 			c.refillID = 0
+			// The refill we issued is fully delivered: recycle it. Write
+			// acks (un-posted downstream) are left to the GC — the core
+			// cannot prove it still owns them.
+			c.pool.Put(beat.Req)
 		}
 	}
 }
@@ -250,7 +263,7 @@ func (c *Core) issueMemOps() {
 			// write-through variant: every store is a posted write
 			// on the bus, no D-cache allocation.
 			if c.issueWrite(op.addr, 1, true) {
-				c.memOps = c.memOps[1:]
+				c.popMemOp()
 			}
 			return
 		}
@@ -276,8 +289,16 @@ func (c *Core) issueMemOps() {
 		c.refills++
 		c.needRefill = false
 	}
-	c.memOps = c.memOps[1:]
+	c.popMemOp()
 	c.opAccessed = false
+}
+
+// popMemOp drops the completed head op, shifting in place so the bundle's
+// op queue reuses its backing array instead of reallocating every bundle.
+func (c *Core) popMemOp() {
+	n := copy(c.memOps, c.memOps[1:])
+	c.memOps[n] = pendingOp{}
+	c.memOps = c.memOps[:n]
 }
 
 func (c *Core) dLineBeats() int {
@@ -309,7 +330,8 @@ func (c *Core) issueRefill(lineAddr uint64, beats int) bool {
 	if !c.port.Req.CanPush() {
 		return false
 	}
-	req := &bus.Request{
+	req := c.pool.Get()
+	*req = bus.Request{
 		ID:           c.ids.Next(),
 		Origin:       c.origin,
 		Op:           bus.OpRead,
@@ -334,7 +356,8 @@ func (c *Core) issueWrite(addr uint64, beats int, posted bool) bool {
 	if beats < 1 {
 		beats = 1
 	}
-	req := &bus.Request{
+	req := c.pool.Get()
+	*req = bus.Request{
 		ID:           c.ids.Next(),
 		Origin:       c.origin,
 		Op:           bus.OpWrite,

@@ -204,6 +204,11 @@ type Generator struct {
 	byReqID map[uint64]*agent
 	rr      int
 
+	// pool recycles this generator's requests (nil outside platform
+	// builds): tracked transactions return on their final response beat;
+	// posted writes are reclaimed by the component that consumes them.
+	pool *bus.RequestPool
+
 	issuedTotal    int64
 	completedTotal int64
 }
@@ -241,6 +246,10 @@ func MustNew(cfg Config, clk *sim.Clock, ids *bus.IDSource, origin int) *Generat
 	}
 	return g
 }
+
+// UseRequestPool makes the generator mint requests from (and return them
+// to) the given pool. Call before simulation starts.
+func (g *Generator) UseRequestPool(p *bus.RequestPool) { g.pool = p }
 
 // Port returns the initiator port to attach to a fabric.
 func (g *Generator) Port() *bus.InitiatorPort { return g.port }
@@ -286,6 +295,9 @@ func (g *Generator) collect() {
 		a.completed++
 		g.completedTotal++
 		a.latency.Add(g.clk.Cycles() - beat.Req.IssueCycle)
+		// The transaction was tracked, so this request is ours and this
+		// beat is its final reference: recycle it.
+		g.pool.Put(beat.Req)
 	}
 }
 
@@ -335,7 +347,8 @@ func (g *Generator) issueFrom(a *agent) {
 	ph := a.currentPhase()
 	beats := g.rng.Range(ph.BurstMin, ph.BurstMax)
 	isRead := g.rng.Bool(ph.ReadFrac)
-	req := &bus.Request{
+	req := g.pool.Get()
+	*req = bus.Request{
 		ID:           g.ids.Next(),
 		Origin:       g.origin,
 		Addr:         g.nextAddr(a, beats),

@@ -135,6 +135,10 @@ type Controller struct {
 	// response streaming
 	streams []stream
 
+	// pool reclaims posted writes, which die here with no response (nil
+	// outside platform builds).
+	pool *bus.RequestPool
+
 	// statistics
 	served       int64
 	reads        int64
@@ -160,6 +164,10 @@ func New(name string, cfg Config) *Controller {
 	c.monitor = newMonitor(cfg.PhaseWindow)
 	return c
 }
+
+// UseRequestPool makes the controller reclaim consumed posted writes into
+// the given pool. Call before simulation starts.
+func (c *Controller) UseRequestPool(p *bus.RequestPool) { c.pool = p }
 
 // Port returns the bus-facing target port.
 func (c *Controller) Port() *bus.TargetPort { return c.port }
@@ -216,7 +224,11 @@ func (c *Controller) emitBeats() {
 	s.emitted++
 	s.nextAt = c.now + 1
 	if s.emitted >= s.beats {
-		c.streams = c.streams[1:]
+		// Shift in place so the stream queue's backing array is reused
+		// instead of reallocated on every completed transaction.
+		n := copy(c.streams, c.streams[1:])
+		c.streams[n] = stream{}
+		c.streams = c.streams[:n]
 	}
 }
 
@@ -381,7 +393,9 @@ func (c *Controller) advanceAccess(req *bus.Request) {
 		c.latency.Add(first - req.IssueCycle) // end-to-end if same domain
 		c.streams = append(c.streams, stream{req: req, beats: req.Beats, nextAt: first})
 	case req.Posted:
-		// no response
+		// no response: the posted write's life ends here, so the
+		// controller owns its reclamation
+		c.pool.Put(req)
 	default:
 		ackAt := firstData + busCycles + int64(c.cfg.BackLatency)
 		c.streams = append(c.streams, stream{req: req, beats: 1, nextAt: ackAt, isAck: true})

@@ -40,6 +40,10 @@ type Memory struct {
 	beatIdx  int
 	waitLeft int
 
+	// pool reclaims posted writes, which die here with no response (nil
+	// outside platform builds).
+	pool *bus.RequestPool
+
 	// statistics
 	reads, writes   int64
 	beats           int64
@@ -66,6 +70,10 @@ func New(name string, cfg Config) *Memory {
 		port: bus.NewTargetPort(name, cfg.ReqDepth, cfg.RespDepth),
 	}
 }
+
+// UseRequestPool makes the memory reclaim consumed posted writes into the
+// given pool. Call before simulation starts.
+func (m *Memory) UseRequestPool(p *bus.RequestPool) { m.pool = p }
 
 // Port returns the target port a fabric attaches to.
 func (m *Memory) Port() *bus.TargetPort { return m.port }
@@ -118,6 +126,9 @@ func (m *Memory) Eval() {
 		if m.beatIdx >= m.cur.Beats {
 			if m.cur.Posted {
 				m.acceptedPosted++
+				// A posted write has no response: this is the end of
+				// its life, so the memory owns its reclamation.
+				m.pool.Put(m.cur)
 				m.cur = nil
 				return
 			}

@@ -39,7 +39,8 @@ type Platform struct {
 	onchip *mem.Memory
 	ctrl   *lmi.Controller
 
-	ids bus.IDSource
+	ids  bus.IDSource
+	pool bus.RequestPool
 }
 
 // Build assembles a platform instance from the spec.
@@ -73,7 +74,29 @@ func Build(spec Spec) (*Platform, error) {
 	if p.ctrl != nil {
 		p.CentralClk.Register(p.ctrl)
 	}
+	p.wirePool()
 	return p, nil
+}
+
+// wirePool hands every component the platform-wide request pool so steady
+// state mints no new bus.Request values. A platform is stepped from a single
+// goroutine, so one unsynchronized pool is safe.
+func (p *Platform) wirePool() {
+	for _, g := range p.gens {
+		g.UseRequestPool(&p.pool)
+	}
+	for _, br := range p.bridges {
+		br.UseRequestPool(&p.pool)
+	}
+	if p.onchip != nil {
+		p.onchip.UseRequestPool(&p.pool)
+	}
+	if p.ctrl != nil {
+		p.ctrl.UseRequestPool(&p.pool)
+	}
+	if p.core != nil {
+		p.core.UseRequestPool(&p.pool)
+	}
 }
 
 // MustBuild is Build that panics on error.

@@ -108,6 +108,7 @@ type SingleLayer struct {
 	gens []*iptg.Generator
 	mems []*mem.Memory
 	ids  bus.IDSource
+	pool bus.RequestPool
 }
 
 // BuildSingleLayer assembles the testbench.
@@ -183,6 +184,10 @@ func BuildSingleLayer(spec SingleLayerSpec) (*SingleLayer, error) {
 	sl.Clk.Register(sl.Fabric)
 	for _, m := range sl.mems {
 		sl.Clk.Register(m)
+		m.UseRequestPool(&sl.pool)
+	}
+	for _, g := range sl.gens {
+		g.UseRequestPool(&sl.pool)
 	}
 	return sl, nil
 }

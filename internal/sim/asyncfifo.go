@@ -38,7 +38,14 @@ func NewAsyncFifo[T any](name string, depth, syncCycles int, readerClk *Clock) *
 	if syncCycles < 0 {
 		panic(fmt.Sprintf("sim: async fifo %q negative sync latency", name))
 	}
-	return &AsyncFifo[T]{name: name, depth: depth, syncCycles: syncCycles, readerClk: readerClk}
+	return &AsyncFifo[T]{
+		name:       name,
+		depth:      depth,
+		syncCycles: syncCycles,
+		readerClk:  readerClk,
+		cur:        make([]asyncEntry[T], 0, depth),
+		pending:    make([]T, 0, depth),
+	}
 }
 
 // Name returns the FIFO's name.
@@ -103,10 +110,14 @@ func (f *AsyncFifo[T]) ReaderUpdate() {
 	if f.npop == 0 {
 		return
 	}
+	// Shift the survivors down in place rather than re-slicing the front
+	// off: re-slicing discards the front capacity, so the writer's appends
+	// reallocate forever in steady state.
+	rem := copy(f.cur, f.cur[f.npop:])
 	var zero asyncEntry[T]
-	for i := 0; i < f.npop; i++ {
-		f.cur[i] = zero
+	for i := rem; i < len(f.cur); i++ {
+		f.cur[i] = zero // release references for GC
 	}
-	f.cur = f.cur[f.npop:]
+	f.cur = f.cur[:rem]
 	f.npop = 0
 }

@@ -14,12 +14,20 @@ import "fmt"
 // cycle; the kernel does this when the Fifo is registered on a clock, but
 // the usual pattern is for the component owning the FIFO to call
 // fifo.Update() from its own Update method.
+//
+// Storage is a fixed ring of depth slots allocated at construction: the
+// committed entries occupy slots head..head+n-1 (mod depth) and pushes
+// staged this cycle sit immediately after them, so committing at Update is a
+// counter bump with no copying and no allocation. Popped slots are zeroed at
+// Update so removed entries drop their references for the GC.
 type Fifo[T any] struct {
-	name    string
-	depth   int
-	cur     []T
-	pending []T
-	npop    int
+	name  string
+	depth int
+	buf   []T
+	head  int // ring index of the oldest committed entry
+	n     int // committed entries (still counting pops staged this cycle)
+	npush int // pushes staged this cycle, stored after the committed region
+	npop  int // pops staged this cycle
 
 	// occupancy statistics (committed state, sampled at Update)
 	cycles      int64
@@ -34,7 +42,16 @@ func NewFifo[T any](name string, depth int) *Fifo[T] {
 	if depth <= 0 {
 		panic(fmt.Sprintf("sim: fifo %q depth must be positive, got %d", name, depth))
 	}
-	return &Fifo[T]{name: name, depth: depth}
+	return &Fifo[T]{name: name, depth: depth, buf: make([]T, depth)}
+}
+
+// slot maps a logical index (0 = oldest committed entry) to a ring index.
+func (f *Fifo[T]) slot(i int) int {
+	j := f.head + i
+	if j >= f.depth {
+		j -= f.depth
+	}
+	return j
 }
 
 // Name returns the FIFO's name.
@@ -44,18 +61,18 @@ func (f *Fifo[T]) Name() string { return f.name }
 func (f *Fifo[T]) Depth() int { return f.depth }
 
 // Len returns the committed occupancy (entries visible to the reader).
-func (f *Fifo[T]) Len() int { return len(f.cur) }
+func (f *Fifo[T]) Len() int { return f.n }
 
 // Staged returns the number of pushes staged this cycle but not yet
 // committed. Interface monitors use it to observe "a request is being
 // stored this cycle" (e.g. the LMI bus-interface statistics of the paper's
 // Fig.6) during the Update phase.
-func (f *Fifo[T]) Staged() int { return len(f.pending) }
+func (f *Fifo[T]) Staged() int { return f.npush }
 
 // SpaceStaged returns the number of free slots accounting for pushes staged
 // this cycle but not for staged pops (conservative, hardware-accurate: a
 // full FIFO does not accept a push in the same cycle an entry leaves).
-func (f *Fifo[T]) SpaceStaged() int { return f.depth - len(f.cur) - len(f.pending) }
+func (f *Fifo[T]) SpaceStaged() int { return f.depth - f.n - f.npush }
 
 // CanPush reports whether a push staged now would fit.
 func (f *Fifo[T]) CanPush() bool { return f.SpaceStaged() > 0 }
@@ -66,12 +83,13 @@ func (f *Fifo[T]) Push(v T) {
 	if !f.CanPush() {
 		panic(fmt.Sprintf("sim: push to full fifo %q (depth %d)", f.name, f.depth))
 	}
-	f.pending = append(f.pending, v)
+	f.buf[f.slot(f.n+f.npush)] = v
+	f.npush++
 }
 
 // CanPop reports whether a committed entry is available beyond those already
 // popped this cycle.
-func (f *Fifo[T]) CanPop() bool { return f.npop < len(f.cur) }
+func (f *Fifo[T]) CanPop() bool { return f.npop < f.n }
 
 // Peek returns the oldest not-yet-popped committed entry without consuming
 // it. It panics if none is available.
@@ -79,33 +97,44 @@ func (f *Fifo[T]) Peek() T {
 	if !f.CanPop() {
 		panic(fmt.Sprintf("sim: peek on empty fifo %q", f.name))
 	}
-	return f.cur[f.npop]
+	return f.buf[f.slot(f.npop)]
 }
 
 // PeekAt returns the i-th not-yet-popped committed entry (0 = oldest). Used
 // by lookahead optimizers that inspect the queue without consuming it.
 func (f *Fifo[T]) PeekAt(i int) T {
-	if i < 0 || f.npop+i >= len(f.cur) {
-		panic(fmt.Sprintf("sim: peekAt(%d) out of range on fifo %q (len %d, npop %d)", i, f.name, len(f.cur), f.npop))
+	if i < 0 || f.npop+i >= f.n {
+		panic(fmt.Sprintf("sim: peekAt(%d) out of range on fifo %q (len %d, npop %d)", i, f.name, f.n, f.npop))
 	}
-	return f.cur[f.npop+i]
+	return f.buf[f.slot(f.npop+i)]
 }
 
 // RemoveAt stages removal of the i-th not-yet-popped committed entry
 // (0 = oldest) and returns it. RemoveAt(0) is equivalent to Pop. Removal of
 // an inner entry models an out-of-order scheduler picking from a queue; the
-// slot frees at Update. Only one RemoveAt with i>0 per cycle is supported
-// (sufficient for the LMI optimizer, which issues one command per cycle).
+// entry leaves the committed region immediately (its slot is reusable this
+// same cycle), matching a scheduler that frees the queue slot on issue. Only
+// one RemoveAt with i>0 per cycle is supported (sufficient for the LMI
+// optimizer, which issues one command per cycle).
 func (f *Fifo[T]) RemoveAt(i int) T {
 	if i == 0 {
 		return f.Pop()
 	}
 	idx := f.npop + i
-	if idx >= len(f.cur) {
+	if i < 0 || idx >= f.n {
 		panic(fmt.Sprintf("sim: removeAt(%d) out of range on fifo %q", i, f.name))
 	}
-	v := f.cur[idx]
-	f.cur = append(f.cur[:idx:idx], f.cur[idx+1:]...)
+	v := f.buf[f.slot(idx)]
+	// Close the gap in place: shift the younger committed entries and any
+	// pushes staged this cycle down one slot, then clear the vacated slot
+	// so the removed entry drops its reference.
+	last := f.n + f.npush - 1
+	for j := idx; j < last; j++ {
+		f.buf[f.slot(j)] = f.buf[f.slot(j+1)]
+	}
+	var zero T
+	f.buf[f.slot(last)] = zero
+	f.n--
 	return v
 }
 
@@ -114,7 +143,7 @@ func (f *Fifo[T]) Pop() T {
 	if !f.CanPop() {
 		panic(fmt.Sprintf("sim: pop from empty fifo %q", f.name))
 	}
-	v := f.cur[f.npop]
+	v := f.buf[f.slot(f.npop)]
 	f.npop++
 	return v
 }
@@ -125,33 +154,40 @@ func (f *Fifo[T]) Update() {
 	if f.npop > 0 {
 		var zero T
 		for i := 0; i < f.npop; i++ {
-			f.cur[i] = zero // release references for GC
+			f.buf[f.slot(i)] = zero // release references for GC
 		}
-		f.cur = f.cur[f.npop:]
+		f.head = f.slot(f.npop)
+		f.n -= f.npop
 		f.npop = 0
 	}
-	if len(f.pending) > 0 {
-		f.cur = append(f.cur, f.pending...)
-		f.pushedTotal += int64(len(f.pending))
-		f.pending = f.pending[:0]
+	if f.npush > 0 {
+		// Staged entries already sit in their final slots: commit is a
+		// counter bump.
+		f.n += f.npush
+		f.pushedTotal += int64(f.npush)
+		f.npush = 0
 	}
 	f.cycles++
-	switch n := len(f.cur); {
-	case n >= f.depth:
+	switch {
+	case f.n >= f.depth:
 		f.fullCycles++
-	case n == 0:
+	case f.n == 0:
 		f.emptyCycles++
 	}
-	if len(f.cur) > f.maxOcc {
-		f.maxOcc = len(f.cur)
+	if f.n > f.maxOcc {
+		f.maxOcc = f.n
 	}
 }
 
-// Reset discards all committed and staged state and statistics.
+// Reset discards all committed and staged state and statistics. The
+// preallocated ring storage is retained (and cleared), so a Reset FIFO is
+// immediately reusable with no further allocation.
 func (f *Fifo[T]) Reset() {
-	f.cur = nil
-	f.pending = nil
-	f.npop = 0
+	var zero T
+	for i := range f.buf {
+		f.buf[i] = zero
+	}
+	f.head, f.n, f.npush, f.npop = 0, 0, 0, 0
 	f.cycles, f.fullCycles, f.emptyCycles, f.pushedTotal = 0, 0, 0, 0
 	f.maxOcc = 0
 }

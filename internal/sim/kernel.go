@@ -76,15 +76,63 @@ func (c *Clock) Cycles() int64 { return c.cycle }
 // component, never cross-component value propagation.
 func (c *Clock) Register(comp Clocked) {
 	c.comps = append(c.comps, comp)
+	if c.kernel != nil {
+		c.kernel.invalidateSchedule()
+	}
 }
 
 // Kernel owns simulated time and all clock domains.
+//
+// The edge scheduler is precomputed: clock periods are fixed integers, so
+// the firing pattern repeats with the hyperperiod (LCM of all periods). The
+// kernel lazily builds one of three dispatch tiers on the first Step after a
+// clock or component is added:
+//
+//  1. single-clock fast path — no min-scan, no grouping at all;
+//  2. hyperperiod schedule — the distinct firing offsets within one
+//     hyperperiod, each with its pre-sorted clock group and a flattened
+//     eval list, stepped by index;
+//  3. generic path — when the hyperperiod would be too long to tabulate
+//     (co-prime periods such as 7519 ps for a quantized 133 MHz clock), a
+//     single min-scan over clocks pre-sorted by name into a reusable
+//     firing buffer.
+//
+// All three tiers fire the exact same edges in the exact same order as a
+// naive per-step min-scan + stable name sort, and none of them allocates in
+// steady state.
 type Kernel struct {
 	nowPS  int64
 	clocks []*Clock
 	// stopped is set by Stop; Run loops exit at the next edge boundary.
 	stopped bool
+
+	// --- lazily built edge schedule (see buildSchedule) ---
+	schedValid bool
+	single     *Clock      // tier 1: the only clock, or nil
+	groups     []edgeGroup // tier 2: hyperperiod schedule, or empty
+	hyper      int64       // hyperperiod in ps (tier 2)
+	base       int64       // absolute time of the current hyperperiod start
+	gidx       int         // next group to fire within the hyperperiod
+	sorted     []*Clock    // tier 3: clocks stably sorted by name
+	firing     []*Clock    // tier 3: reusable buffer of clocks firing now
 }
+
+// edgeGroup is one distinct firing instant within the hyperperiod: the
+// clocks due at base+offset in their deterministic (name-sorted) order, and
+// their components' Eval calls flattened into a single list. Updates are not
+// flattened because the per-clock cycle counters must advance between clock
+// segments exactly as in the generic path (a component's Update may observe
+// another domain's Cycles()).
+type edgeGroup struct {
+	offset int64 // firing time relative to the hyperperiod start, in (0, hyper]
+	clocks []*Clock
+	evals  []Clocked
+}
+
+// maxHyperEdges bounds the tabulated schedule size; hyperperiods with more
+// distinct edges (or that overflow int64 during the LCM computation) fall
+// back to the generic min-scan path.
+const maxHyperEdges = 4096
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel { return &Kernel{} }
@@ -98,8 +146,20 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
+// ResetStop clears a previous Stop so the kernel — and any platform built on
+// it — can be reused for another run.
+func (k *Kernel) ResetStop() { k.stopped = false }
+
 // NewClock creates and registers a clock domain with the given frequency.
 // The first edge fires at t = period (all clocks start aligned at phase 0).
+//
+// Periods are quantized to an integer number of picoseconds with
+// math.Round(1e6/freqMHz), so frequencies that do not divide 1 µs are
+// realized slightly off-nominal: 333 MHz becomes 3003 ps (≈332.96 MHz) and
+// 133 MHz becomes 7519 ps (≈133.01 MHz). The quantization is deterministic
+// and identical on every platform, so cross-domain cycle ratios are exactly
+// reproducible; use NewClockPeriodPS when an exact period matters more than
+// a nominal frequency.
 func (k *Kernel) NewClock(name string, freqMHz float64) *Clock {
 	if freqMHz <= 0 {
 		panic(fmt.Sprintf("sim: non-positive frequency %v for clock %q", freqMHz, name))
@@ -108,9 +168,7 @@ func (k *Kernel) NewClock(name string, freqMHz float64) *Clock {
 	if period <= 0 {
 		period = 1
 	}
-	c := &Clock{name: name, periodPS: period, nextEdge: period, kernel: k}
-	k.clocks = append(k.clocks, c)
-	return c
+	return k.NewClockPeriodPS(name, period)
 }
 
 // NewClockPeriodPS creates a clock from an exact period in picoseconds.
@@ -120,41 +178,203 @@ func (k *Kernel) NewClockPeriodPS(name string, periodPS int64) *Clock {
 	}
 	c := &Clock{name: name, periodPS: periodPS, nextEdge: periodPS, kernel: k}
 	k.clocks = append(k.clocks, c)
+	k.invalidateSchedule()
 	return c
+}
+
+// invalidateSchedule forces a rebuild on the next Step; called whenever the
+// clock set or a component list changes.
+func (k *Kernel) invalidateSchedule() { k.schedValid = false }
+
+// buildSchedule selects and constructs the dispatch tier. Runs once per
+// topology change, never in steady state.
+func (k *Kernel) buildSchedule() {
+	k.schedValid = true
+	k.single = nil
+	k.groups = k.groups[:0]
+	if len(k.clocks) == 0 {
+		return
+	}
+	if len(k.clocks) == 1 {
+		k.single = k.clocks[0]
+		return
+	}
+	// Deterministic firing order: stable sort by name (registration order
+	// breaks ties), matching the per-step sort the kernel historically did.
+	k.sorted = append(k.sorted[:0], k.clocks...)
+	sort.SliceStable(k.sorted, func(i, j int) bool { return k.sorted[i].name < k.sorted[j].name })
+	k.buildHyperperiod()
+}
+
+// buildHyperperiod tabulates the firing groups of one hyperperiod, or leaves
+// k.groups empty to select the generic path.
+func (k *Kernel) buildHyperperiod() {
+	hyper := int64(1)
+	for _, c := range k.clocks {
+		g := gcd64(hyper, c.periodPS)
+		quot := hyper / g
+		if quot > math.MaxInt64/c.periodPS {
+			return // LCM overflow: generic path
+		}
+		hyper = quot * c.periodPS
+	}
+	var edges int64
+	for _, c := range k.clocks {
+		edges += hyper / c.periodPS
+	}
+	if edges > maxHyperEdges {
+		return // schedule too large to be worth tabulating
+	}
+	// Distinct firing offsets within (0, hyper].
+	offs := make([]int64, 0, edges)
+	for _, c := range k.sorted {
+		for t := c.periodPS; t <= hyper; t += c.periodPS {
+			offs = append(offs, t)
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	groups := make([]edgeGroup, 0, len(offs))
+	for _, off := range offs {
+		if n := len(groups); n > 0 && groups[n-1].offset == off {
+			continue
+		}
+		g := edgeGroup{offset: off}
+		for _, c := range k.sorted {
+			if off%c.periodPS != 0 {
+				continue
+			}
+			g.clocks = append(g.clocks, c)
+			g.evals = append(g.evals, c.comps...)
+		}
+		groups = append(groups, g)
+	}
+	// Position the schedule at the kernel's current state. All clocks tick
+	// continuously from phase 0 (nextEdge is always (cycle+1)*period), so
+	// the next due edge determines base and gidx; if any clock's state is
+	// inconsistent with the periodic pattern (e.g. a clock created mid-run
+	// with edges in the simulated past), fall back to the generic path,
+	// which reproduces the historical behaviour exactly.
+	next := k.clocks[0].nextEdge
+	for _, c := range k.clocks[1:] {
+		if c.nextEdge < next {
+			next = c.nextEdge
+		}
+	}
+	base := (next - 1) / hyper * hyper
+	gidx := -1
+	for i := range groups {
+		if base+groups[i].offset == next {
+			gidx = i
+			break
+		}
+	}
+	if gidx < 0 {
+		return
+	}
+	pos := base + groups[gidx].offset
+	for _, c := range k.clocks {
+		due := (pos + c.periodPS - 1) / c.periodPS * c.periodPS
+		if due != c.nextEdge {
+			return
+		}
+	}
+	k.groups = groups
+	k.hyper = hyper
+	k.base = base
+	k.gidx = gidx
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // Step advances simulated time to the next clock edge (or group of
 // simultaneous edges) and ticks the affected clock domains. It returns false
 // when there are no clocks registered.
-func (k *Kernel) Step() bool {
-	if len(k.clocks) == 0 {
+func (k *Kernel) Step() bool { return k.stepBounded(math.MaxInt64) }
+
+// stepBounded fires the next edge group if it is due at or before maxPS and
+// reports whether it stepped. It is the single dispatch point for all run
+// loops, so the bound check shares the same scan that locates the edge.
+func (k *Kernel) stepBounded(maxPS int64) bool {
+	if !k.schedValid {
+		k.buildSchedule()
+	}
+	switch {
+	case k.single != nil:
+		c := k.single
+		if c.nextEdge > maxPS {
+			return false
+		}
+		k.nowPS = c.nextEdge
+		for _, comp := range c.comps {
+			comp.Eval()
+		}
+		for _, comp := range c.comps {
+			comp.Update()
+		}
+		c.cycle++
+		c.nextEdge += c.periodPS
+		return true
+	case len(k.groups) > 0:
+		g := &k.groups[k.gidx]
+		next := k.base + g.offset
+		if next > maxPS {
+			return false
+		}
+		k.nowPS = next
+		for _, comp := range g.evals {
+			comp.Eval()
+		}
+		for _, c := range g.clocks {
+			for _, comp := range c.comps {
+				comp.Update()
+			}
+			c.cycle++
+			c.nextEdge += c.periodPS
+		}
+		k.gidx++
+		if k.gidx == len(k.groups) {
+			k.gidx = 0
+			k.base += k.hyper
+		}
+		return true
+	case len(k.clocks) == 0:
 		return false
 	}
+	return k.stepGeneric(maxPS)
+}
+
+// stepGeneric is the fallback tier: one scan over the name-sorted clocks
+// finds the minimum edge and collects the firing group into a reusable
+// buffer, already in deterministic order.
+func (k *Kernel) stepGeneric(maxPS int64) bool {
 	next := int64(math.MaxInt64)
-	for _, c := range k.clocks {
-		if c.nextEdge < next {
+	k.firing = k.firing[:0]
+	for _, c := range k.sorted {
+		switch {
+		case c.nextEdge < next:
 			next = c.nextEdge
+			k.firing = append(k.firing[:0], c)
+		case c.nextEdge == next:
+			k.firing = append(k.firing, c)
 		}
+	}
+	if next > maxPS {
+		return false
 	}
 	k.nowPS = next
-	// Collect all clocks firing at this instant. Tick them as one
-	// synchronous group: all Evals, then all Updates, so simultaneous
-	// edges across domains behave like a single wider domain.
-	var firing []*Clock
-	for _, c := range k.clocks {
-		if c.nextEdge == next {
-			firing = append(firing, c)
-		}
-	}
-	// Deterministic order: registration order is already deterministic,
-	// but sort by name for cross-domain stability if callers reorder.
-	sort.SliceStable(firing, func(i, j int) bool { return firing[i].name < firing[j].name })
-	for _, c := range firing {
+	// Tick the group synchronously: all Evals, then all Updates, so
+	// simultaneous edges across domains behave like a single wider domain.
+	for _, c := range k.firing {
 		for _, comp := range c.comps {
 			comp.Eval()
 		}
 	}
-	for _, c := range firing {
+	for _, c := range k.firing {
 		for _, comp := range c.comps {
 			comp.Update()
 		}
@@ -167,12 +387,7 @@ func (k *Kernel) Step() bool {
 // RunUntil advances until simulated time reaches ps (inclusive of edges at
 // exactly ps) or Stop is called.
 func (k *Kernel) RunUntil(ps int64) {
-	for !k.stopped {
-		next := k.peekNextEdge()
-		if next < 0 || next > ps {
-			return
-		}
-		k.Step()
+	for !k.stopped && k.stepBounded(ps) {
 	}
 }
 
@@ -203,7 +418,15 @@ func (k *Kernel) RunWhile(cond func() bool, maxPS int64) bool {
 }
 
 func (k *Kernel) peekNextEdge() int64 {
-	if len(k.clocks) == 0 {
+	if !k.schedValid {
+		k.buildSchedule()
+	}
+	switch {
+	case k.single != nil:
+		return k.single.nextEdge
+	case len(k.groups) > 0:
+		return k.base + k.groups[k.gidx].offset
+	case len(k.clocks) == 0:
 		return -1
 	}
 	next := int64(math.MaxInt64)

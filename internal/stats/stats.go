@@ -109,7 +109,16 @@ type PhaseTracker struct {
 	current []int64
 	windows []Window
 	total   []int64
+	// arena is preallocated count storage carved up by roll(), so closing
+	// a window does not allocate on the observation hot path. Windows keep
+	// pointing into exhausted chunks, so growing the arena never moves
+	// completed windows.
+	arena []int64
 }
+
+// arenaWindows is the number of windows' worth of count storage allocated
+// per arena chunk.
+const arenaWindows = 128
 
 // Window is one completed observation window.
 type Window struct {
@@ -134,6 +143,8 @@ func NewPhaseTracker(windowSize int64, states ...string) *PhaseTracker {
 		windowSize: windowSize,
 		current:    make([]int64, len(states)),
 		total:      make([]int64, len(states)),
+		windows:    make([]Window, 0, arenaWindows),
+		arena:      make([]int64, arenaWindows*len(states)),
 	}
 }
 
@@ -153,7 +164,12 @@ func (p *PhaseTracker) Observe(state string) {
 }
 
 func (p *PhaseTracker) roll() {
-	counts := make([]int64, len(p.current))
+	ns := len(p.current)
+	if len(p.arena) < ns {
+		p.arena = make([]int64, arenaWindows*ns)
+	}
+	counts := p.arena[:ns:ns]
+	p.arena = p.arena[ns:]
 	copy(counts, p.current)
 	p.windows = append(p.windows, Window{
 		StartCycle: p.cycle - p.windowSize,

@@ -331,7 +331,11 @@ func (n *Node) retire(init int, id uint64) {
 	ord := n.order[init]
 	for j, v := range ord {
 		if v == id {
-			n.order[init] = append(ord[:j:j], ord[j+1:]...)
+			// Close the gap in place: the three-index append forces a
+			// fresh backing array on every retire, which is pure
+			// allocator churn on the response hot path.
+			copy(ord[j:], ord[j+1:])
+			n.order[init] = ord[:len(ord)-1]
 			break
 		}
 	}
