@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench benchquick
+.PHONY: build test vet race verify bench benchquick fuzz-short
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ race:
 	$(GO) test -race -short ./...
 
 verify: vet build test race
+
+# Short coverage-guided fuzz of the binary trace decoder (seed corpus lives
+# in internal/tracecap/testdata/fuzz). Ten seconds is enough to exercise the
+# mutation engine against every validation path on each run; longer local
+# sessions just raise -fuzztime.
+fuzz-short:
+	$(GO) test ./internal/tracecap -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 
 # Perf-trajectory snapshot: benchmarks the simulator and refreshes
 # BENCH_2.json (ns/op, allocs/op, simulated cycles per second, speedup vs

@@ -7,6 +7,7 @@
 //	experiments fig4     distributed vs centralized vs memory speed
 //	experiments fig5     platform instances with LMI + DDR SDRAM
 //	experiments fig6     fine-grain LMI bus-interface statistics
+//	experiments replay   cross-fabric comparison under recorded stimulus
 //	experiments all      everything above
 //
 // The -scale flag shrinks or grows the workload; -j bounds how many
@@ -41,7 +42,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs (1 = serial)")
 	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|ablations [variant]|area|latency|all\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|ablations [variant]|area|latency|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,6 +107,12 @@ func run(which string, rest []string, o experiments.Options) error {
 			return err
 		}
 		return r.Write(w)
+	case "replay":
+		r, err := experiments.CrossFabricReplay(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "latency":
 		r, err := experiments.Latency(o)
 		if err != nil {
@@ -159,6 +166,10 @@ func run(which string, rest []string, o experiments.Options) error {
 			}},
 			{"fig5", func() error { r, err := experiments.Fig5(o); return writeOr(err, func() error { return r.Write(w) }) }},
 			{"fig6", func() error { r, err := experiments.Fig6(o); return writeOr(err, func() error { return r.Write(w) }) }},
+			{"replay", func() error {
+				r, err := experiments.CrossFabricReplay(o)
+				return writeOr(err, func() error { return r.Write(w) })
+			}},
 		} {
 			if err := fig.run(); err != nil {
 				failed++
@@ -166,7 +177,7 @@ func run(which string, rest []string, o experiments.Options) error {
 			}
 		}
 		if failed > 0 {
-			return fmt.Errorf("%d of 6 figures failed", failed)
+			return fmt.Errorf("%d of 7 figures failed", failed)
 		}
 		return nil
 	default:

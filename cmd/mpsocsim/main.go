@@ -6,6 +6,15 @@
 //	mpsocsim -protocol stbus -topology distributed -memory lmi
 //	mpsocsim -protocol ahb -memory onchip -waitstates 4 -scale 0.5
 //	mpsocsim -protocol axi -topology collapsed -memory lmi -split-lmi-bridge
+//
+// Transaction traces close the capture/replay loop: -capture records the
+// full per-initiator stimulus of the run into a compact binary trace, and
+// -replay re-drives a previously captured trace in place of the IP traffic
+// generators (-replay-mode timed|elastic), so any fabric variant can be
+// measured under identical traffic:
+//
+//	mpsocsim -capture ref.trc
+//	mpsocsim -protocol ahb -replay ref.trc
 package main
 
 import (
@@ -15,7 +24,9 @@ import (
 
 	"mpsocsim/internal/config"
 	"mpsocsim/internal/platform"
+	"mpsocsim/internal/replay"
 	"mpsocsim/internal/trace"
+	"mpsocsim/internal/tracecap"
 )
 
 func main() {
@@ -33,6 +44,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write waveform-style CSV samples to this file")
 	vcdFile := flag.String("vcd", "", "write a VCD waveform dump to this file")
 	tracePeriod := flag.Int64("trace-period", 100, "sampling period in central cycles")
+	captureFile := flag.String("capture", "", "record the per-initiator transaction trace to this file")
+	replayFile := flag.String("replay", "", "replace the IP traffic generators with trace-driven replay from this file")
+	replayMode := flag.String("replay-mode", "timed", "replay scheduling: timed|elastic")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -95,6 +109,19 @@ func main() {
 		}
 	})
 
+	if *replayFile != "" {
+		tr, err := tracecap.ReadFile(*replayFile)
+		if err != nil {
+			fatalf("replay: %v", err)
+		}
+		mode, err := replay.ParseMode(*replayMode)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Replay = tr
+		spec.ReplayMode = mode
+	}
+
 	p, err := platform.Build(spec)
 	if err != nil {
 		fatalf("build: %v", err)
@@ -103,6 +130,11 @@ func main() {
 	if *traceFile != "" || *vcdFile != "" {
 		sampler = trace.NewSampler(1 << 22)
 		p.AttachSampler(sampler, *tracePeriod)
+	}
+	var capture *tracecap.Capture
+	if *captureFile != "" {
+		capture = tracecap.NewCapture(spec.Name(), 0)
+		p.AttachCapture(capture)
 	}
 	r := p.Run(int64(*budgetMS * 1e9))
 	if err := r.WriteSummary(os.Stdout); err != nil {
@@ -118,6 +150,18 @@ func main() {
 			fatalf("trace: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceFile)
+	}
+	if capture != nil {
+		tr := capture.Trace()
+		if err := tr.WriteFile(*captureFile); err != nil {
+			fatalf("capture: %v", err)
+		}
+		msg := ""
+		if tr.Truncated() {
+			msg = " (TRUNCATED: stream event cap hit)"
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d events across %d initiators%s\n",
+			*captureFile, tr.Events(), len(tr.Streams), msg)
 	}
 	if sampler != nil && *vcdFile != "" {
 		f, err := os.Create(*vcdFile)

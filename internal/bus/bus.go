@@ -89,6 +89,22 @@ type Beat struct {
 	Last bool
 }
 
+// PortProbe observes the transaction lifecycle at an initiator port.
+// Probes are passive: they must not mutate the request, and they run inline
+// on the simulation hot path, so implementations must not allocate in steady
+// state (internal/tracecap's capture streams preallocate their event
+// storage).
+type PortProbe interface {
+	// RequestIssued fires when the initiator stages r into the port's
+	// request FIFO. The request's IssueCycle is already set; posted writes
+	// will produce no RequestCompleted call.
+	RequestIssued(r *Request)
+	// RequestCompleted fires when the initiator consumes the final
+	// response beat of a tracked request, before the request is recycled.
+	// cycle is the completion time in the initiator's clock domain.
+	RequestCompleted(r *Request, cycle int64)
+}
+
 // InitiatorPort attaches an initiator to a fabric: the initiator pushes
 // Requests into Req and pops response Beats from Resp. The fabric owns the
 // arbitration over when Req entries drain.
@@ -96,6 +112,10 @@ type InitiatorPort struct {
 	Name string
 	Req  *Queue
 	Resp *BeatQueue
+	// Probe, when non-nil, observes every transaction crossing this port.
+	// It is honoured by the components that own a port's issue side
+	// (iptg.Generator, replay.Initiator); set it before simulation starts.
+	Probe PortProbe
 }
 
 // TargetPort attaches a target to a fabric: the fabric pushes Requests into

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrossFabricReplayShapeAndRendering(t *testing.T) {
+	r, err := CrossFabricReplay(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaseCycles <= 0 || r.BaseEvents <= 0 {
+		t.Fatalf("degenerate baseline: %+v", r)
+	}
+	if len(r.Variants) != 3 {
+		t.Fatalf("variants = %d", len(r.Variants))
+	}
+	if len(r.Initiators) == 0 {
+		t.Fatal("no captured initiators")
+	}
+	// The STBus replay is the experiment's self-check: identical stimulus on
+	// the capturing platform must reproduce the capturing run exactly.
+	control := r.Variants[0]
+	if control.Cycles != r.BaseCycles || control.Normalized != 1.0 {
+		t.Fatalf("STBus control replay diverged from capture: %d vs %d cycles",
+			control.Cycles, r.BaseCycles)
+	}
+	// AHB under identical traffic should still clearly trail STBus.
+	if r.Variants[1].Normalized < 1.05 {
+		t.Errorf("AHB replay normalized %.3f; expected a clear slowdown", r.Variants[1].Normalized)
+	}
+	for _, v := range r.Variants {
+		for _, name := range r.Initiators {
+			if _, ok := v.MeanLat[name]; !ok {
+				t.Errorf("%s missing latency for initiator %q", v.Name, name)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Cross-fabric replay", "replay STBus (control)", "replay AHB", "ahb_delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

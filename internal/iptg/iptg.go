@@ -295,6 +295,9 @@ func (g *Generator) collect() {
 		a.completed++
 		g.completedTotal++
 		a.latency.Add(g.clk.Cycles() - beat.Req.IssueCycle)
+		if pr := g.port.Probe; pr != nil {
+			pr.RequestCompleted(beat.Req, g.clk.Cycles())
+		}
 		// The transaction was tracked, so this request is ours and this
 		// beat is its final reference: recycle it.
 		g.pool.Put(beat.Req)
@@ -375,6 +378,9 @@ func (g *Generator) issueFrom(a *agent) {
 		req.MsgEnd = a.msgLeft == 0
 	}
 	g.port.Req.Push(req)
+	if pr := g.port.Probe; pr != nil {
+		pr.RequestIssued(req)
+	}
 	a.issued++
 	a.inPhase++
 	g.issuedTotal++

@@ -2,6 +2,8 @@ package platform
 
 import (
 	"testing"
+
+	"mpsocsim/internal/tracecap"
 )
 
 // TestZeroAllocSteadyState proves the tentpole claim: once a platform has
@@ -23,6 +25,30 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Step allocates: %.2f allocs/step (want 0)", allocs)
+	}
+}
+
+// TestZeroAllocSteadyStateWithCapture re-proves the invariant with trace
+// capture attached: the probes record into preallocated event storage, so
+// observing the full stimulus costs no allocations per cycle either.
+func TestZeroAllocSteadyStateWithCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	spec := DefaultSpec()
+	p := MustBuild(spec)
+	c := tracecap.NewCapture(spec.Name(), 0)
+	p.AttachCapture(c)
+	p.Kernel.RunCycles(p.CentralClk, 5000)
+
+	allocs := testing.AllocsPerRun(2000, func() {
+		p.Kernel.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step with capture allocates: %.2f allocs/step (want 0)", allocs)
+	}
+	if c.Trace().Events() == 0 {
+		t.Fatal("capture recorded nothing")
 	}
 }
 

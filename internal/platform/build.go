@@ -11,8 +11,10 @@ import (
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/lmi"
 	"mpsocsim/internal/mem"
+	"mpsocsim/internal/replay"
 	"mpsocsim/internal/sim"
 	"mpsocsim/internal/stbus"
+	"mpsocsim/internal/tracecap"
 )
 
 // Clock frequencies of the reference platform (MHz).
@@ -21,6 +23,24 @@ const (
 	ClusterMHz = 200
 	CPUMHz     = 400
 )
+
+// Initiator is the component surface shared by live IP traffic generators
+// (iptg.Generator) and trace-driven replayers (replay.Initiator). The
+// platform treats its traffic sources uniformly through it: run completion,
+// statistics collection, pool wiring and capture attachment all go through
+// this interface, so a Spec with Replay set swaps stimulus without touching
+// any other subsystem.
+type Initiator interface {
+	sim.Clocked
+	Name() string
+	Origin() int
+	Port() *bus.InitiatorPort
+	Done() bool
+	Issued() int64
+	Completed() int64
+	Stats() []iptg.AgentStats
+	UseRequestPool(*bus.RequestPool)
+}
 
 // Platform is a fully assembled instance ready to Run.
 type Platform struct {
@@ -31,8 +51,9 @@ type Platform struct {
 
 	centralFab bus.Fabric
 	clusterFab []bus.Fabric
-	gens       []*iptg.Generator
+	gens       []Initiator
 	genCluster []string
+	genClk     []*sim.Clock
 	bridges    map[string]*bridge.Bridge
 	core       *dspcore.Core
 
@@ -206,7 +227,7 @@ func (p *Platform) buildClusters() error {
 		// every actor directly on the central node
 		for _, cl := range clusters {
 			for _, ipCfg := range cl.ips {
-				gen, err := iptg.New(ipCfg, p.CentralClk, &p.ids, origin)
+				gen, err := p.newInitiator(ipCfg, p.CentralClk, origin)
 				if err != nil {
 					return err
 				}
@@ -215,6 +236,7 @@ func (p *Platform) buildClusters() error {
 				p.CentralClk.Register(gen)
 				p.gens = append(p.gens, gen)
 				p.genCluster = append(p.genCluster, cl.name)
+				p.genClk = append(p.genClk, p.CentralClk)
 			}
 		}
 	case Distributed:
@@ -230,7 +252,7 @@ func (p *Platform) buildClusters() error {
 			fab.AttachTarget(br.TargetPort())
 			p.centralFab.AttachInitiator(br.InitiatorPort())
 			for _, ipCfg := range cl.ips {
-				gen, err := iptg.New(ipCfg, clk, &p.ids, origin)
+				gen, err := p.newInitiator(ipCfg, clk, origin)
 				if err != nil {
 					return err
 				}
@@ -239,6 +261,7 @@ func (p *Platform) buildClusters() error {
 				clk.Register(gen)
 				p.gens = append(p.gens, gen)
 				p.genCluster = append(p.genCluster, cl.name)
+				p.genClk = append(p.genClk, clk)
 			}
 			clk.Register(fab)
 			clk.Register(br.TargetSide)
@@ -249,6 +272,41 @@ func (p *Platform) buildClusters() error {
 		return fmt.Errorf("platform: unknown topology %d", p.Spec.Topology)
 	}
 	return nil
+}
+
+// newInitiator builds the traffic source for one IP slot: the live generator
+// normally, or — when the spec carries a replay trace — the trace-driven
+// replayer fed from the stream recorded at the same-named IP. The replayer
+// inherits the IP's port depths, so the fabric sees an identical interface.
+func (p *Platform) newInitiator(ipCfg iptg.Config, clk *sim.Clock, origin int) (Initiator, error) {
+	if p.Spec.Replay == nil {
+		return iptg.New(ipCfg, clk, &p.ids, origin)
+	}
+	st := p.Spec.Replay.Stream(ipCfg.Name)
+	if st == nil {
+		return nil, fmt.Errorf("platform: replay trace %q has no stream for initiator %q (trace streams: %v)",
+			p.Spec.Replay.Platform, ipCfg.Name, p.Spec.Replay.StreamNames())
+	}
+	return replay.New(replay.Config{
+		Stream:        st,
+		Mode:          p.Spec.ReplayMode,
+		Outstanding:   p.Spec.ReplayOutstanding,
+		PortReqDepth:  ipCfg.PortReqDepth,
+		PortRespDepth: ipCfg.PortRespDepth,
+	}, clk, &p.ids, origin)
+}
+
+// AttachCapture installs the capture's per-initiator stream probes on every
+// traffic-source port, recording the full transaction stimulus of the run
+// (issue cycle, opcode, address, burst shape, completion latency). Call
+// after Build and before Run; the probes record inline with no per-event
+// allocation in steady state, so TestZeroAllocSteadyState holds with capture
+// enabled. Capture composes with replay: capturing a replayed run is how the
+// round-trip determinism suite proves bit-identical reproduction.
+func (p *Platform) AttachCapture(c *tracecap.Capture) {
+	for i, g := range p.gens {
+		g.Port().Probe = c.Probe(g.Name(), p.genClk[i].PeriodPS())
+	}
 }
 
 // buildDSP adds the ST220-class core behind its upsize (32->64 bit) and
@@ -299,8 +357,13 @@ func (p *Platform) buildDSP() {
 	p.CentralClk.Register(conv.InitiatorSide)
 }
 
-// Generators returns the platform's traffic generators.
-func (p *Platform) Generators() []*iptg.Generator { return p.gens }
+// Initiators returns the platform's traffic sources (live generators or
+// trace-driven replayers), in attachment order.
+func (p *Platform) Initiators() []Initiator { return p.gens }
+
+// Generators returns the platform's traffic sources. Deprecated alias of
+// Initiators, kept for callers predating trace replay.
+func (p *Platform) Generators() []Initiator { return p.gens }
 
 // Core returns the DSP core (nil when WithDSP is false).
 func (p *Platform) Core() *dspcore.Core { return p.core }

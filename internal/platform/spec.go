@@ -16,7 +16,9 @@ import (
 	"fmt"
 
 	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/replay"
 	"mpsocsim/internal/stbus"
+	"mpsocsim/internal/tracecap"
 )
 
 // Protocol selects the communication protocol family.
@@ -155,6 +157,21 @@ type Spec struct {
 	TwoPhase bool
 	// Seed drives all traffic-generator randomness.
 	Seed uint64
+
+	// Replay, when non-nil, swaps every IP traffic generator for a
+	// trace-driven replay initiator fed from the trace's matching
+	// per-initiator stream (matched by IP name). The workload knobs above
+	// (scale, seed, two-phase) then only shape the expected initiator
+	// set, not the traffic — the trace is the traffic. Capture a trace
+	// with Platform.AttachCapture or `mpsocsim -capture`.
+	Replay *tracecap.Trace
+	// ReplayMode selects the replay scheduling discipline (Timed
+	// re-issues at the recorded cycles; Elastic issues as fast as
+	// accepted).
+	ReplayMode replay.Mode
+	// ReplayOutstanding bounds in-flight transactions per initiator in
+	// Elastic mode (0 keeps the replay default of 8).
+	ReplayOutstanding int
 }
 
 // DefaultSpec returns the paper's reference platform: distributed STBus

@@ -18,10 +18,13 @@ type Event struct {
 }
 
 // Recorder accumulates events when enabled; a disabled recorder is free.
+// Events recorded past the cap are not silently lost: they are counted in
+// Dropped and flagged by Truncated, and Dump reports the loss.
 type Recorder struct {
 	enabled bool
 	events  []Event
 	limit   int
+	dropped int64
 }
 
 // NewRecorder returns a recorder capped at limit events (0 = 1M default).
@@ -35,9 +38,14 @@ func NewRecorder(enabled bool, limit int) *Recorder {
 // Enabled reports whether recording is active.
 func (r *Recorder) Enabled() bool { return r.enabled }
 
-// Record appends an event when enabled and under the cap.
+// Record appends an event when enabled and under the cap; past the cap the
+// event is discarded but counted, so truncation is observable.
 func (r *Recorder) Record(timePS int64, component, format string, args ...any) {
-	if !r.enabled || len(r.events) >= r.limit {
+	if !r.enabled {
+		return
+	}
+	if len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, Event{TimePS: timePS, Component: component, What: fmt.Sprintf(format, args...)})
@@ -46,10 +54,23 @@ func (r *Recorder) Record(timePS int64, component, format string, args ...any) {
 // Events returns the recorded events.
 func (r *Recorder) Events() []Event { return r.events }
 
-// Dump writes events as tab-separated lines.
+// Dropped returns how many events were discarded after the cap was hit.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Truncated reports whether any event was lost to the cap.
+func (r *Recorder) Truncated() bool { return r.dropped > 0 }
+
+// Dump writes events as tab-separated lines. A truncated recording ends
+// with a comment line stating how many events were dropped, so a dump that
+// stops early is never mistaken for a complete one.
 func (r *Recorder) Dump(w io.Writer) error {
 	for _, e := range r.events {
 		if _, err := fmt.Fprintf(w, "%d\t%s\t%s\n", e.TimePS, e.Component, e.What); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "# truncated: %d events dropped after cap of %d\n", r.dropped, r.limit); err != nil {
 			return err
 		}
 	}

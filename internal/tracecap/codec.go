@@ -1,0 +1,376 @@
+package tracecap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mpsocsim/internal/bus"
+)
+
+// Binary trace format (DESIGN.md §12). All integers are unsigned varints
+// (encoding/binary Uvarint) unless marked zigzag (binary Varint). Strings
+// are a uvarint byte length followed by raw UTF-8.
+//
+//	magic    6 bytes "MPSTRC"
+//	version  1 byte  (currently 1)
+//	platform string
+//	nstreams uvarint
+//	then, per stream:
+//	  name     string
+//	  periodPS uvarint (> 0)
+//	  dropped  uvarint
+//	  count    uvarint
+//	  count events, delta-encoded against the previous event:
+//	    flags      1 byte: bit0 write, bit1 posted, bit2 msgEnd,
+//	               bit3 completed (latency field present)
+//	    cycleDelta uvarint (IssueCycle - previous IssueCycle; issue
+//	               cycles are nondecreasing within a stream)
+//	    addrDelta  zigzag (Addr - previous Addr, two's complement)
+//	    beats      uvarint (> 0)
+//	    bytesPerBeat uvarint (> 0)
+//	    prio       uvarint
+//	    msgSeqDelta zigzag
+//	    latency    uvarint, only when bit3 is set (absent = in flight,
+//	               decoded as -1; posted writes carry latency 0)
+//
+// Versioning rule: the version byte is bumped on any incompatible layout
+// change; the decoder rejects versions it does not know rather than
+// guessing. Additive changes reuse the flags byte's free bits and keep the
+// version.
+
+// Magic identifies a trace file.
+const Magic = "MPSTRC"
+
+// Version is the current format version.
+const Version = 1
+
+// Sentinel decode errors; the decoder wraps them with byte-offset context,
+// so match with errors.Is.
+var (
+	// ErrMagic marks a file that is not a trace at all.
+	ErrMagic = errors.New("bad magic (not a tracecap trace)")
+	// ErrVersion marks a trace written by an incompatible format version.
+	ErrVersion = errors.New("unsupported trace version")
+	// ErrTruncated marks a trace that ends mid-structure.
+	ErrTruncated = errors.New("truncated trace")
+	// ErrCorrupt marks a structurally invalid trace (overlong varint,
+	// zero burst length, implausible counts).
+	ErrCorrupt = errors.New("corrupt trace")
+)
+
+const (
+	flagWrite     = 1 << 0
+	flagPosted    = 1 << 1
+	flagMsgEnd    = 1 << 2
+	flagCompleted = 1 << 3
+	flagsKnown    = flagWrite | flagPosted | flagMsgEnd | flagCompleted
+
+	// maxNameLen bounds decoded string lengths; maxStreams bounds the
+	// stream count. Both exist so a corrupt header cannot drive huge
+	// allocations before the payload is validated.
+	maxNameLen = 1 << 12
+	maxStreams = 1 << 16
+	// minEventBytes is the smallest possible encoded event (all fields
+	// single-byte varints, no latency); the decoder uses it to reject
+	// event counts that cannot fit in the remaining bytes.
+	minEventBytes = 7
+)
+
+// Encode serializes the trace to its binary format.
+func (t *Trace) Encode() []byte {
+	// Size hint: header plus ~8 bytes per event keeps regrowth rare.
+	buf := make([]byte, 0, 64+len(t.Streams)*32+int(t.Events())*8)
+	buf = append(buf, Magic...)
+	buf = append(buf, Version)
+	buf = appendString(buf, t.Platform)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Streams)))
+	for _, s := range t.Streams {
+		buf = appendString(buf, s.Name)
+		buf = binary.AppendUvarint(buf, uint64(s.PeriodPS))
+		buf = binary.AppendUvarint(buf, uint64(s.Dropped))
+		buf = binary.AppendUvarint(buf, uint64(len(s.Events)))
+		var prevCycle int64
+		var prevAddr, prevSeq uint64
+		for i := range s.Events {
+			ev := &s.Events[i]
+			var flags byte
+			if ev.Op == bus.OpWrite {
+				flags |= flagWrite
+			}
+			if ev.Posted {
+				flags |= flagPosted
+			}
+			if ev.MsgEnd {
+				flags |= flagMsgEnd
+			}
+			if ev.Latency >= 0 {
+				flags |= flagCompleted
+			}
+			buf = append(buf, flags)
+			buf = binary.AppendUvarint(buf, uint64(ev.IssueCycle-prevCycle))
+			buf = binary.AppendVarint(buf, int64(ev.Addr-prevAddr))
+			buf = binary.AppendUvarint(buf, uint64(ev.Beats))
+			buf = binary.AppendUvarint(buf, uint64(ev.BytesPerBeat))
+			buf = binary.AppendUvarint(buf, uint64(ev.Prio))
+			buf = binary.AppendVarint(buf, int64(ev.MsgSeq-prevSeq))
+			if ev.Latency >= 0 {
+				buf = binary.AppendUvarint(buf, uint64(ev.Latency))
+			}
+			prevCycle, prevAddr, prevSeq = ev.IssueCycle, ev.Addr, ev.MsgSeq
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// WriteTo writes the encoded trace to w.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(t.Encode())
+	return int64(n), err
+}
+
+// WriteFile writes the encoded trace to path.
+func (t *Trace) WriteFile(path string) error {
+	return os.WriteFile(path, t.Encode(), 0o644)
+}
+
+// decoder walks the byte stream tracking the current offset so every error
+// names the exact position of the problem.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+// errf wraps sentinel err with positional context. The offset is the
+// position where the failing field started.
+func (d *decoder) errf(err error, at int, format string, args ...any) error {
+	return fmt.Errorf("tracecap: %s at offset %d: %w", fmt.Sprintf(format, args...), at, err)
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	at := d.off
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n == 0 {
+		return 0, d.errf(ErrTruncated, at, "%s ends mid-varint", what)
+	}
+	if n < 0 {
+		return 0, d.errf(ErrCorrupt, at, "%s varint overflows 64 bits", what)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint(what string) (int64, error) {
+	at := d.off
+	v, n := binary.Varint(d.data[d.off:])
+	if n == 0 {
+		return 0, d.errf(ErrTruncated, at, "%s ends mid-varint", what)
+	}
+	if n < 0 {
+		return 0, d.errf(ErrCorrupt, at, "%s varint overflows 64 bits", what)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) str(what string) (string, error) {
+	at := d.off
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", d.errf(ErrCorrupt, at, "%s length %d exceeds %d", what, n, maxNameLen)
+	}
+	if uint64(d.remaining()) < n {
+		return "", d.errf(ErrTruncated, at, "%s needs %d bytes, %d left", what, n, d.remaining())
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Decode parses a binary trace, validating structure and value ranges. All
+// errors wrap one of the sentinel errors above and carry the byte offset of
+// the failing field.
+func Decode(data []byte) (*Trace, error) {
+	d := &decoder{data: data}
+	if len(data) < len(Magic)+1 {
+		return nil, d.errf(ErrTruncated, 0, "header needs %d bytes, have %d", len(Magic)+1, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, d.errf(ErrMagic, 0, "got %q", data[:len(Magic)])
+	}
+	d.off = len(Magic)
+	if v := data[d.off]; v != Version {
+		return nil, d.errf(ErrVersion, d.off, "version %d (decoder supports %d)", v, Version)
+	}
+	d.off++
+
+	t := &Trace{}
+	var err error
+	if t.Platform, err = d.str("platform name"); err != nil {
+		return nil, err
+	}
+	nstreams, err := d.uvarint("stream count")
+	if err != nil {
+		return nil, err
+	}
+	if nstreams > maxStreams {
+		return nil, d.errf(ErrCorrupt, d.off, "stream count %d exceeds %d", nstreams, maxStreams)
+	}
+	t.Streams = make([]*Stream, 0, nstreams)
+	for si := uint64(0); si < nstreams; si++ {
+		s, err := d.stream(int(si))
+		if err != nil {
+			return nil, err
+		}
+		t.Streams = append(t.Streams, s)
+	}
+	if d.remaining() != 0 {
+		return nil, d.errf(ErrCorrupt, d.off, "%d trailing bytes after last stream", d.remaining())
+	}
+	return t, nil
+}
+
+func (d *decoder) stream(si int) (*Stream, error) {
+	s := &Stream{}
+	var err error
+	if s.Name, err = d.str(fmt.Sprintf("stream %d name", si)); err != nil {
+		return nil, err
+	}
+	at := d.off
+	period, err := d.uvarint("stream period")
+	if err != nil {
+		return nil, err
+	}
+	if period == 0 || period > 1<<40 {
+		return nil, d.errf(ErrCorrupt, at, "stream %q period %d ps out of range", s.Name, period)
+	}
+	s.PeriodPS = int64(period)
+	dropped, err := d.uvarint("dropped count")
+	if err != nil {
+		return nil, err
+	}
+	s.Dropped = int64(dropped)
+	at = d.off
+	count, err := d.uvarint("event count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(d.remaining())/minEventBytes {
+		return nil, d.errf(ErrTruncated, at,
+			"stream %q declares %d events (>= %d bytes each) but only %d bytes remain",
+			s.Name, count, minEventBytes, d.remaining())
+	}
+	s.Events = make([]Event, count)
+	var prevCycle int64
+	var prevAddr, prevSeq uint64
+	for i := range s.Events {
+		ev := &s.Events[i]
+		at := d.off
+		if d.remaining() < 1 {
+			return nil, d.errf(ErrTruncated, at, "stream %q event %d flags", s.Name, i)
+		}
+		flags := d.data[d.off]
+		d.off++
+		if flags&^byte(flagsKnown) != 0 {
+			return nil, d.errf(ErrCorrupt, at, "stream %q event %d unknown flag bits %#x", s.Name, i, flags)
+		}
+		delta, err := d.uvarint("issue-cycle delta")
+		if err != nil {
+			return nil, err
+		}
+		ev.IssueCycle = prevCycle + int64(delta)
+		if ev.IssueCycle < prevCycle {
+			return nil, d.errf(ErrCorrupt, at, "stream %q event %d issue cycle overflows", s.Name, i)
+		}
+		addrDelta, err := d.varint("address delta")
+		if err != nil {
+			return nil, err
+		}
+		ev.Addr = prevAddr + uint64(addrDelta)
+		beats, err := d.uvarint("beat count")
+		if err != nil {
+			return nil, err
+		}
+		if beats == 0 || beats > 1<<20 {
+			return nil, d.errf(ErrCorrupt, at, "stream %q event %d beat count %d out of range", s.Name, i, beats)
+		}
+		ev.Beats = int(beats)
+		bpb, err := d.uvarint("bytes per beat")
+		if err != nil {
+			return nil, err
+		}
+		if bpb == 0 || bpb > 1<<10 {
+			return nil, d.errf(ErrCorrupt, at, "stream %q event %d bytes/beat %d out of range", s.Name, i, bpb)
+		}
+		ev.BytesPerBeat = int(bpb)
+		prio, err := d.uvarint("priority")
+		if err != nil {
+			return nil, err
+		}
+		if prio > 1<<20 {
+			return nil, d.errf(ErrCorrupt, at, "stream %q event %d priority %d out of range", s.Name, i, prio)
+		}
+		ev.Prio = int(prio)
+		seqDelta, err := d.varint("message-sequence delta")
+		if err != nil {
+			return nil, err
+		}
+		ev.MsgSeq = prevSeq + uint64(seqDelta)
+		if flags&flagWrite != 0 {
+			ev.Op = bus.OpWrite
+		}
+		ev.Posted = flags&flagPosted != 0
+		ev.MsgEnd = flags&flagMsgEnd != 0
+		ev.Latency = -1
+		if flags&flagCompleted != 0 {
+			lat, err := d.uvarint("latency")
+			if err != nil {
+				return nil, err
+			}
+			if lat > 1<<40 {
+				return nil, d.errf(ErrCorrupt, at, "stream %q event %d latency %d out of range", s.Name, i, lat)
+			}
+			ev.Latency = int64(lat)
+		}
+		if ev.Posted && ev.Op != bus.OpWrite {
+			return nil, d.errf(ErrCorrupt, at, "stream %q event %d posted read", s.Name, i)
+		}
+		prevCycle, prevAddr, prevSeq = ev.IssueCycle, ev.Addr, ev.MsgSeq
+	}
+	return s, nil
+}
+
+// ReadFile reads and decodes a trace file.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Read decodes a trace from r (reading it fully into memory; traces are
+// compact — a few bytes per transaction).
+func Read(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

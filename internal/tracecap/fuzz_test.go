@@ -1,0 +1,40 @@
+package tracecap
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode drives the trace decoder with arbitrary bytes. The decoder must
+// never panic or allocate unboundedly: it either returns a Trace or an error
+// wrapping one of the four sentinel errors. For inputs it accepts, the
+// decoded form must survive a re-encode/re-decode round trip unchanged —
+// the decoder and encoder agree on the format's meaning.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(Magic))
+	f.Add((&Trace{Platform: "empty"}).Encode())
+	f.Add(sampleTrace().Encode())
+	// a deliberately corrupt tail: valid header, garbage events
+	bad := sampleTrace().Encode()
+	f.Add(append(bad[:len(bad)/2], 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v wraps no sentinel", err)
+			}
+			return
+		}
+		again, err := Decode(tr.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, tr) {
+			t.Fatalf("decode/encode/decode not stable:\nfirst  %+v\nsecond %+v", tr, again)
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package tracecap records and re-serves the full transaction stimulus of a
+// platform run: every request an initiator issued (issue cycle, opcode,
+// address, burst shape, priority, message labelling) together with its
+// observed completion latency. A captured Trace is the recorded-stimulus
+// counterpart of the paper's IPTG methodology (§3.1): the same transaction
+// stream can be re-driven into a different fabric or topology by
+// internal/replay, so architectural variants are compared under *identical*
+// traffic rather than statistically similar traffic.
+//
+// Capture is wired through lightweight bus.PortProbe hooks on the initiator
+// ports; the probes preallocate their event storage and record into
+// fixed-size structs, so capturing a steady-state run performs zero heap
+// allocations per cycle (the PR-2 invariant). Encoding to the compact
+// varint-delta binary format (see codec.go and DESIGN.md §12) happens after
+// the run, off the hot path.
+package tracecap
+
+import (
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/stats"
+)
+
+// Event is one recorded transaction at an initiator port. Cycles are counted
+// in the initiator's own clock domain.
+type Event struct {
+	// IssueCycle is when the initiator pushed the request into its port.
+	IssueCycle int64
+	// Latency is the completion delay in initiator cycles (final response
+	// beat consumed at IssueCycle+Latency). Posted writes complete at
+	// issue (0); -1 marks a request still in flight when capture stopped.
+	Latency int64
+	Addr    uint64
+	// MsgSeq/MsgEnd reproduce STBus message-based arbitration labelling.
+	MsgSeq uint64
+	Beats  int
+	// BytesPerBeat is the initiator's data width for this request.
+	BytesPerBeat int
+	Prio         int
+	Op           bus.Op
+	Posted       bool
+	MsgEnd       bool
+}
+
+// Stream is the recorded transaction sequence of one initiator, ordered by
+// issue cycle (the capture probe appends in issue order by construction).
+type Stream struct {
+	// Name is the initiator's platform-wide name (e.g. "decrypt"); replay
+	// matches streams to workload initiators by this name.
+	Name string
+	// PeriodPS is the period of the clock domain the cycles are counted
+	// in; replay rescales issue cycles when driving a different domain.
+	PeriodPS int64
+	Events   []Event
+	// Dropped counts events discarded after the capture limit was hit.
+	Dropped int64
+}
+
+// Truncated reports whether the stream lost events to the capture limit.
+func (s *Stream) Truncated() bool { return s.Dropped > 0 }
+
+// LatencyHistogram accumulates the recorded completion latencies (posted
+// writes and never-completed events excluded) — the per-initiator baseline
+// the cross-fabric replay experiment compares against.
+func (s *Stream) LatencyHistogram() stats.Histogram {
+	var h stats.Histogram
+	for i := range s.Events {
+		if !s.Events[i].Posted && s.Events[i].Latency >= 0 {
+			h.Add(s.Events[i].Latency)
+		}
+	}
+	return h
+}
+
+// Trace is a full captured stimulus: one stream per initiator.
+type Trace struct {
+	// Platform labels the capturing platform (Spec.Name()); informational.
+	Platform string
+	// Streams are in capture-attachment order (the platform's initiator
+	// order), which is deterministic for a given spec.
+	Streams []*Stream
+}
+
+// Stream returns the named stream, or nil.
+func (t *Trace) Stream(name string) *Stream {
+	for _, s := range t.Streams {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// StreamNames lists the stream names in trace order.
+func (t *Trace) StreamNames() []string {
+	names := make([]string, len(t.Streams))
+	for i, s := range t.Streams {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Events returns the total recorded event count across all streams.
+func (t *Trace) Events() int64 {
+	var n int64
+	for _, s := range t.Streams {
+		n += int64(len(s.Events))
+	}
+	return n
+}
+
+// Truncated reports whether any stream lost events to its capture limit.
+func (t *Trace) Truncated() bool {
+	for _, s := range t.Streams {
+		if s.Truncated() {
+			return true
+		}
+	}
+	return false
+}
+
+// initialEventCap is the per-stream event storage preallocated at probe
+// creation. While a stream stays under it, capture never allocates; beyond
+// it, append regrows amortized (off the zero-alloc guarantee, which covers
+// the reference workload with ample margin).
+const initialEventCap = 4096
+
+// DefaultLimit is the default per-stream event cap.
+const DefaultLimit = 1 << 20
+
+// Capture owns the streams being recorded for one platform run. It is not
+// safe for concurrent use; a platform is stepped from a single goroutine.
+type Capture struct {
+	trace Trace
+	limit int
+}
+
+// NewCapture starts a capture session. limit caps each stream's event count
+// (0 selects DefaultLimit); events beyond the cap are counted in
+// Stream.Dropped rather than silently lost.
+func NewCapture(platformName string, limit int) *Capture {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Capture{trace: Trace{Platform: platformName}, limit: limit}
+}
+
+// Trace returns the captured trace. Valid at any time; streams keep growing
+// until the run stops.
+func (c *Capture) Trace() *Trace { return &c.trace }
+
+// Probe creates the recording stream for one initiator and returns the probe
+// to install on its port (bus.InitiatorPort.Probe). periodPS is the
+// initiator's clock period.
+func (c *Capture) Probe(name string, periodPS int64) *StreamProbe {
+	prealloc := c.limit
+	if prealloc > initialEventCap {
+		prealloc = initialEventCap
+	}
+	s := &Stream{
+		Name:     name,
+		PeriodPS: periodPS,
+		Events:   make([]Event, 0, prealloc),
+	}
+	c.trace.Streams = append(c.trace.Streams, s)
+	return &StreamProbe{
+		s:       s,
+		limit:   c.limit,
+		pending: make(map[uint64]int, 64),
+	}
+}
+
+// StreamProbe records one initiator's lifecycle events into its Stream. It
+// implements bus.PortProbe.
+type StreamProbe struct {
+	s     *Stream
+	limit int
+	// pending maps an in-flight request ID to its event index so the
+	// completion latency lands on the right record.
+	pending map[uint64]int
+}
+
+// RequestIssued records the issue-side fields of r.
+func (p *StreamProbe) RequestIssued(r *bus.Request) {
+	if len(p.s.Events) >= p.limit {
+		p.s.Dropped++
+		return
+	}
+	lat := int64(-1)
+	if r.Posted && r.Op == bus.OpWrite {
+		lat = 0 // posted writes complete at issue
+	}
+	p.s.Events = append(p.s.Events, Event{
+		IssueCycle:   r.IssueCycle,
+		Latency:      lat,
+		Addr:         r.Addr,
+		MsgSeq:       r.MsgSeq,
+		Beats:        r.Beats,
+		BytesPerBeat: r.BytesPerBeat,
+		Prio:         r.Prio,
+		Op:           r.Op,
+		Posted:       r.Posted,
+		MsgEnd:       r.MsgEnd,
+	})
+	if lat < 0 {
+		p.pending[r.ID] = len(p.s.Events) - 1
+	}
+}
+
+// RequestCompleted stamps the completion latency onto the pending record.
+func (p *StreamProbe) RequestCompleted(r *bus.Request, cycle int64) {
+	i, ok := p.pending[r.ID]
+	if !ok {
+		return // dropped past the cap, or issued before capture attached
+	}
+	delete(p.pending, r.ID)
+	ev := &p.s.Events[i]
+	ev.Latency = cycle - ev.IssueCycle
+}

@@ -1,0 +1,203 @@
+package tracecap
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpsocsim/internal/bus"
+)
+
+// sampleTrace builds a two-stream trace exercising every field the format
+// carries: both opcodes, posted writes, message labelling, in-flight events,
+// large address jumps (signed deltas) and a dropped count.
+func sampleTrace() *Trace {
+	return &Trace{
+		Platform: "STBus/distributed/lmi+ddr",
+		Streams: []*Stream{
+			{
+				Name:     "decrypt",
+				PeriodPS: 6024,
+				Events: []Event{
+					{IssueCycle: 3, Latency: 17, Addr: 0x100000, MsgSeq: 1<<32 | 1, Beats: 8, BytesPerBeat: 8, Op: bus.OpRead},
+					{IssueCycle: 3, Latency: 0, Addr: 0x200040, MsgSeq: 1<<32 | 1, Beats: 16, BytesPerBeat: 8, Op: bus.OpWrite, Posted: true, MsgEnd: true},
+					{IssueCycle: 9, Latency: -1, Addr: 0x1000, MsgSeq: 1<<32 | 2, Beats: 1, BytesPerBeat: 4, Prio: 3, Op: bus.OpWrite, MsgEnd: true},
+				},
+				Dropped: 2,
+			},
+			{
+				Name:     "dma1",
+				PeriodPS: 4000,
+				Events: []Event{
+					{IssueCycle: 0, Latency: 40, Addr: 18 << 20, Beats: 8, BytesPerBeat: 8, Op: bus.OpRead, MsgEnd: true},
+				},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeEmptyTrace(t *testing.T) {
+	want := &Trace{Platform: "empty"}
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Platform != "empty" || len(got.Streams) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestDecodeErrors is the table-driven validation suite: every malformed
+// input must map onto the right sentinel error and carry offset context in
+// its message.
+func TestDecodeErrors(t *testing.T) {
+	valid := sampleTrace().Encode()
+	truncated := func(n int) []byte { return valid[:n] }
+	withVersion := func(v byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[len(Magic)] = v
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty input", nil, ErrTruncated},
+		{"short header", []byte("MPST"), ErrTruncated},
+		{"bad magic", []byte("NOTRC\x00\x01rest"), ErrMagic},
+		{"vcd file", []byte("$date today $end ..."), ErrMagic},
+		{"future version", withVersion(Version + 1), ErrVersion},
+		{"version zero", withVersion(0), ErrVersion},
+		{"cut mid header", truncated(len(Magic) + 1), ErrTruncated},
+		{"cut mid stream header", truncated(len(Magic) + 1 + 26 + 3), ErrTruncated},
+		{"cut mid events", truncated(len(valid) - 5), nil /* truncated or corrupt, set below */},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xAA), ErrCorrupt},
+		{"huge stream count", append(valid[:len(Magic)+1+26:len(Magic)+1+26], 0xFF, 0xFF, 0xFF, 0xFF, 0x7F), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if err == nil {
+				t.Fatal("decode accepted malformed input")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+			if tc.want == nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v, want truncated or corrupt", err)
+			}
+			if !strings.Contains(err.Error(), "offset") {
+				t.Fatalf("error %q lacks offset context", err)
+			}
+		})
+	}
+}
+
+// TestDecodeCorruptEventFields mutates a single-event trace so each field
+// validation path fires.
+func TestDecodeCorruptEventFields(t *testing.T) {
+	mk := func(mutate func(ev *Event)) []byte {
+		tr := &Trace{Platform: "p", Streams: []*Stream{{
+			Name: "s", PeriodPS: 4000,
+			Events: []Event{{IssueCycle: 1, Latency: 5, Addr: 64, Beats: 4, BytesPerBeat: 8, Op: bus.OpRead}},
+		}}}
+		mutate(&tr.Streams[0].Events[0])
+		return tr.Encode()
+	}
+	cases := []struct {
+		name   string
+		mutate func(ev *Event)
+	}{
+		{"zero beats", func(ev *Event) { ev.Beats = 0 }},
+		{"huge beats", func(ev *Event) { ev.Beats = 1 << 30 }},
+		{"zero width", func(ev *Event) { ev.BytesPerBeat = 0 }},
+		{"huge width", func(ev *Event) { ev.BytesPerBeat = 1 << 20 }},
+		{"posted read", func(ev *Event) { ev.Op = bus.OpRead; ev.Posted = true; ev.Latency = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(mk(tc.mutate)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v, want %v", err, ErrCorrupt)
+			}
+		})
+	}
+}
+
+func TestCaptureProbeRecordsLifecycle(t *testing.T) {
+	c := NewCapture("test", 0)
+	p := c.Probe("ip0", 4000)
+
+	read := &bus.Request{ID: 1, Op: bus.OpRead, Addr: 0x80, Beats: 4, BytesPerBeat: 8, IssueCycle: 10, MsgSeq: 7, MsgEnd: true}
+	posted := &bus.Request{ID: 2, Op: bus.OpWrite, Posted: true, Addr: 0x100, Beats: 8, BytesPerBeat: 8, IssueCycle: 12}
+	inflight := &bus.Request{ID: 3, Op: bus.OpWrite, Addr: 0x180, Beats: 2, BytesPerBeat: 8, IssueCycle: 15, Prio: 2}
+	p.RequestIssued(read)
+	p.RequestIssued(posted)
+	p.RequestIssued(inflight)
+	p.RequestCompleted(read, 34)
+	// completion for an ID never issued must be ignored
+	p.RequestCompleted(&bus.Request{ID: 99}, 50)
+
+	s := c.Trace().Stream("ip0")
+	if s == nil || len(s.Events) != 3 {
+		t.Fatalf("stream: %+v", s)
+	}
+	if got := s.Events[0]; got.Latency != 24 || got.Op != bus.OpRead || got.Addr != 0x80 || !got.MsgEnd || got.MsgSeq != 7 {
+		t.Fatalf("read event: %+v", got)
+	}
+	if got := s.Events[1]; got.Latency != 0 || !got.Posted {
+		t.Fatalf("posted event: %+v", got)
+	}
+	if got := s.Events[2]; got.Latency != -1 || got.Prio != 2 {
+		t.Fatalf("in-flight event: %+v", got)
+	}
+	h := s.LatencyHistogram()
+	if h.N() != 1 || h.Max() != 24 {
+		t.Fatalf("latency histogram %v (want the single tracked completion)", h.String())
+	}
+}
+
+func TestCaptureLimitCountsDrops(t *testing.T) {
+	c := NewCapture("test", 2)
+	p := c.Probe("ip0", 4000)
+	for i := 0; i < 5; i++ {
+		p.RequestIssued(&bus.Request{ID: uint64(i + 1), Op: bus.OpRead, Beats: 1, BytesPerBeat: 8, IssueCycle: int64(i)})
+	}
+	s := c.Trace().Stream("ip0")
+	if len(s.Events) != 2 || s.Dropped != 3 || !s.Truncated() {
+		t.Fatalf("events=%d dropped=%d", len(s.Events), s.Dropped)
+	}
+	if !c.Trace().Truncated() {
+		t.Fatal("trace not flagged truncated")
+	}
+	// a completion for a dropped event must not panic or misattribute
+	p.RequestCompleted(&bus.Request{ID: 5}, 99)
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Stream("nope") != nil {
+		t.Fatal("found nonexistent stream")
+	}
+	if got := tr.StreamNames(); !reflect.DeepEqual(got, []string{"decrypt", "dma1"}) {
+		t.Fatalf("names %v", got)
+	}
+	if tr.Events() != 4 {
+		t.Fatalf("events %d", tr.Events())
+	}
+	if !tr.Truncated() {
+		t.Fatal("sample trace has a dropped count; Truncated must report it")
+	}
+}
