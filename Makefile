@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench benchquick fuzz-short
+.PHONY: build test vet race verify bench benchquick fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ race:
 	$(GO) test -race -short ./...
 
 verify: vet build test race
+
+# Coverage over the full suite: writes the raw profile (coverage.out, the CI
+# artifact) and prints the per-function summary with the total at the bottom.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Short coverage-guided fuzz of the binary trace decoder (seed corpus lives
 # in internal/tracecap/testdata/fuzz). Ten seconds is enough to exercise the

@@ -4,8 +4,9 @@
 // BENCH_<n>.json snapshot next to the previous ones, so the cycles/sec
 // trajectory across PRs lives in the repo itself.
 //
-//	go run ./cmd/bench            # writes BENCH_2.json in the cwd
+//	go run ./cmd/bench            # writes BENCH_4.json in the cwd
 //	go run ./cmd/bench -o out.json
+//	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Every entry reports ns/op, B/op, allocs/op and, where a run simulates a
 // known number of central-clock cycles, cycles/op and cycles/sec. The file
@@ -24,6 +25,8 @@ import (
 
 	"mpsocsim/internal/experiments"
 	"mpsocsim/internal/platform"
+	"mpsocsim/internal/profiling"
+	"mpsocsim/internal/tracecap"
 )
 
 // Entry is one benchmark measurement.
@@ -60,6 +63,13 @@ type Report struct {
 	Baseline   Baseline `json:"baseline"`
 	// SpeedupNsPerOp is baseline ns/op divided by current reference ns/op.
 	SpeedupNsPerOp float64 `json:"speedup_ns_per_op"`
+	// MetricsOverheadFrac is the fractional run-phase cost of the metrics
+	// layer (per-domain gauge samplers + end-of-run snapshot) on the
+	// reference platform, relative to the uninstrumented run phase.
+	MetricsOverheadFrac float64 `json:"metrics_overhead_frac"`
+	// CaptureOverheadFrac is the same ratio for the §12 transaction
+	// recorder (one capture probe per initiator).
+	CaptureOverheadFrac float64 `json:"capture_overhead_frac"`
 }
 
 // referenceBaseline was measured at the seed of this PR (commit 85de9db,
@@ -75,8 +85,15 @@ var referenceBaseline = Baseline{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_2.json", "output file")
+	out := flag.String("o", "BENCH_4.json", "output file")
+	prof := profiling.DefineFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opts := experiments.Options{Scale: 0.25, Seed: 1, Workers: 1}
 	var report Report
@@ -85,7 +102,7 @@ func main() {
 	report.NumCPU = runtime.NumCPU()
 	report.Baseline = referenceBaseline
 
-	run := func(name string, cycles func() float64, body func(b *testing.B)) {
+	measure := func(name string, cycles func() float64, body func(b *testing.B)) Entry {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			body(b)
@@ -103,16 +120,23 @@ func main() {
 				e.CyclesPerSec = e.CyclesPerOp / (e.NsPerOp * 1e-9)
 			}
 		}
+		return e
+	}
+	emit := func(e Entry) {
 		report.Benchmarks = append(report.Benchmarks, e)
-		fmt.Printf("%-24s %12.0f ns/op %10d allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+		fmt.Printf("%-24s %12.0f ns/op %10d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
 		if e.CyclesPerSec > 0 {
 			fmt.Printf(" %12.0f cycles/sec", e.CyclesPerSec)
 		}
 		fmt.Println()
 	}
+	run := func(name string, cycles func() float64, body func(b *testing.B)) {
+		emit(measure(name, cycles, body))
+	}
 
 	// Raw simulator speed on the default (distributed STBus + LMI + DSP)
-	// platform — the trajectory headline.
+	// platform — the trajectory headline, build + run like the frozen
+	// baseline it is compared against.
 	var refCycles int64
 	runReference := func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -126,7 +150,99 @@ func main() {
 			refCycles = r.CentralCycles
 		}
 	}
+
 	run("reference_platform", func() float64 { return float64(refCycles) }, runReference)
+
+	// Instrumentation overheads: the same run with the metrics layer
+	// attached (per-domain gauge samplers and the end-of-run snapshot; the
+	// registry itself is func-backed and always present) and with the §12
+	// transaction recorder attached (one capture probe per initiator, a
+	// map op per transaction). Instrumentation is a steady-state concern,
+	// so these bodies time the run phase only — platform construction and
+	// ring preallocation are one-off costs that scale-0.25 iteration
+	// counts would otherwise amplify out of proportion.
+	//
+	// Each overhead is a small fraction of a measurement whose run-to-run
+	// variance on shared hardware easily exceeds it, so the bodies are
+	// interleaved op by op — bare, metrics, capture, repeat — and each
+	// keeps its minimum ns/op, the estimator least contaminated by
+	// scheduler and frequency noise. Bytes/allocs come from a MemStats
+	// delta around one run (the simulator is deterministic, so one op is
+	// exact).
+	type phaseBody struct {
+		name string
+		// setup instruments the freshly built platform and returns the
+		// post-run validity check.
+		setup func(*platform.Platform) func(platform.Result)
+	}
+	fatal := func(msg string) {
+		fmt.Fprintln(os.Stderr, "bench:", msg)
+		os.Exit(1)
+	}
+	bodies := []phaseBody{
+		{"reference_run_phase", func(*platform.Platform) func(platform.Result) {
+			return func(platform.Result) {}
+		}},
+		{"reference_with_metrics", func(p *platform.Platform) func(platform.Result) {
+			p.EnableTimelines(0, 0)
+			return func(r platform.Result) {
+				if r.Metrics == nil || len(r.Metrics.Timelines) == 0 {
+					fatal("metrics run produced no snapshot timelines")
+				}
+			}
+		}},
+		{"reference_with_capture", func(p *platform.Platform) func(platform.Result) {
+			c := tracecap.NewCapture("bench", 0)
+			p.AttachCapture(c)
+			return func(platform.Result) {
+				if len(c.Trace().Streams) == 0 {
+					fatal("capture run recorded no streams")
+				}
+			}
+		}},
+	}
+	const phaseRounds = 40
+	entries := make([]Entry, len(bodies))
+	var phaseCycles int64
+	for round := 0; round < phaseRounds; round++ {
+		for i, body := range bodies {
+			s := platform.DefaultSpec()
+			s.WorkloadScale = 0.25
+			p := platform.MustBuild(s)
+			check := body.setup(p)
+			var before, after runtime.MemStats
+			if round == 0 {
+				runtime.ReadMemStats(&before)
+			}
+			start := time.Now()
+			r := p.Run(experiments.Budget)
+			elapsed := float64(time.Since(start).Nanoseconds())
+			if round == 0 {
+				runtime.ReadMemStats(&after)
+			}
+			if !r.Done {
+				fatal(body.name + " did not drain")
+			}
+			check(r)
+			phaseCycles = r.CentralCycles
+			if round == 0 {
+				entries[i] = Entry{
+					Name:        body.name,
+					NsPerOp:     elapsed,
+					BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+					AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+				}
+			} else if elapsed < entries[i].NsPerOp {
+				entries[i].NsPerOp = elapsed
+			}
+		}
+	}
+	for i := range entries {
+		entries[i].Iterations = phaseRounds
+		entries[i].CyclesPerOp = float64(phaseCycles)
+		entries[i].CyclesPerSec = entries[i].CyclesPerOp / (entries[i].NsPerOp * 1e-9)
+		emit(entries[i])
+	}
 
 	// Single-layer §4.1 testbench: exercises the single-clock kernel fast
 	// path and the STBus response channels.
@@ -165,6 +281,10 @@ func main() {
 	if ref := report.Benchmarks[0]; ref.NsPerOp > 0 {
 		report.SpeedupNsPerOp = report.Baseline.NsPerOp / ref.NsPerOp
 	}
+	if bare := report.Benchmarks[1]; bare.NsPerOp > 0 {
+		report.MetricsOverheadFrac = (report.Benchmarks[2].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+		report.CaptureOverheadFrac = (report.Benchmarks[3].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -176,5 +296,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("speedup vs baseline: %.2fx  ->  %s\n", report.SpeedupNsPerOp, *out)
+	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%  ->  %s\n",
+		report.SpeedupNsPerOp, 100*report.MetricsOverheadFrac, 100*report.CaptureOverheadFrac, *out)
 }

@@ -33,6 +33,7 @@ import (
 	"mpsocsim/internal/bridge"
 	"mpsocsim/internal/experiments"
 	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/profiling"
 	"mpsocsim/internal/stbus"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs (1 = serial)")
 	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
+	prof := profiling.DefineFlags()
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|ablations [variant]|area|latency|all\n")
 		flag.PrintDefaults()
@@ -62,10 +64,17 @@ func main() {
 	if !*quiet {
 		o.Progress = os.Stderr
 	}
-	if err := run(args[0], args[1:], o); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if err := run(args[0], args[1:], o); err != nil {
+		stopProf()
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	stopProf()
 }
 
 func run(which string, rest []string, o experiments.Options) error {

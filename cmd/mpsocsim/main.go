@@ -15,6 +15,18 @@
 //
 //	mpsocsim -capture ref.trc
 //	mpsocsim -protocol ahb -replay ref.trc
+//
+// Observability exports render the run's metrics registry: -report writes
+// the schema-versioned JSON run report (every counter, gauge, histogram and
+// sampled timeline), and -chrome-trace writes a Chrome trace-event file —
+// per-initiator transaction lifecycles plus queue-occupancy counter tracks —
+// loadable in ui.perfetto.dev or chrome://tracing:
+//
+//	mpsocsim -report run.json -chrome-trace trace.json
+//
+// Exit status: 0 on a drained run, 2 when the run deadlocked (the progress
+// watchdog saw no transaction move), 3 when the simulated-time budget ran
+// out first, 1 on usage or I/O errors.
 package main
 
 import (
@@ -23,10 +35,17 @@ import (
 	"os"
 
 	"mpsocsim/internal/config"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/platform"
 	"mpsocsim/internal/replay"
 	"mpsocsim/internal/trace"
 	"mpsocsim/internal/tracecap"
+)
+
+// Exit codes distinguishing the two non-drained outcomes.
+const (
+	exitStalled    = 2
+	exitOverBudget = 3
 )
 
 func main() {
@@ -47,6 +66,9 @@ func main() {
 	captureFile := flag.String("capture", "", "record the per-initiator transaction trace to this file")
 	replayFile := flag.String("replay", "", "replace the IP traffic generators with trace-driven replay from this file")
 	replayMode := flag.String("replay-mode", "timed", "replay scheduling: timed|elastic")
+	reportFile := flag.String("report", "", "write the JSON run report (full metrics snapshot) to this file")
+	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace-event/Perfetto file to this file")
+	sampleEvery := flag.Int64("sample-every", metrics.DefaultSampleEvery, "gauge sampling window in domain cycles (for -report/-chrome-trace timelines)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -132,9 +154,14 @@ func main() {
 		p.AttachSampler(sampler, *tracePeriod)
 	}
 	var capture *tracecap.Capture
-	if *captureFile != "" {
+	if *captureFile != "" || *chromeFile != "" {
 		capture = tracecap.NewCapture(spec.Name(), 0)
 		p.AttachCapture(capture)
+	}
+	if *reportFile != "" || *chromeFile != "" {
+		// Timelines feed the report's series and the Chrome counter
+		// tracks; the ring storage is preallocated here, before Run.
+		p.EnableTimelines(*sampleEvery, 0)
 	}
 	r := p.Run(int64(*budgetMS * 1e9))
 	if err := r.WriteSummary(os.Stdout); err != nil {
@@ -151,7 +178,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceFile)
 	}
-	if capture != nil {
+	if capture != nil && *captureFile != "" {
 		tr := capture.Trace()
 		if err := tr.WriteFile(*captureFile); err != nil {
 			fatalf("capture: %v", err)
@@ -174,8 +201,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *vcdFile)
 	}
-	if !r.Done {
-		fatalf("run did not drain within %v ms of simulated time", *budgetMS)
+	if *reportFile != "" {
+		f, err := os.Create(*reportFile)
+		if err != nil {
+			fatalf("report: %v", err)
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			fatalf("report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *reportFile)
+	}
+	if *chromeFile != "" {
+		f, err := os.Create(*chromeFile)
+		if err != nil {
+			fatalf("chrome-trace: %v", err)
+		}
+		defer f.Close()
+		if err := metrics.WriteChromeTrace(f, capture.Trace(), r.Metrics); err != nil {
+			fatalf("chrome-trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in ui.perfetto.dev)\n", *chromeFile)
+	}
+	switch {
+	case r.Stalled:
+		fmt.Fprintf(os.Stderr,
+			"mpsocsim: DEADLOCK: no transaction issued or completed over the watchdog window at %.3f ms simulated (issued=%d completed=%d) — the configuration stalled, not the budget\n",
+			r.ExecMS(), r.Issued, r.Completed)
+		os.Exit(exitStalled)
+	case !r.Done:
+		fmt.Fprintf(os.Stderr,
+			"mpsocsim: run did not drain within the %v ms budget (issued=%d completed=%d) — raise -budget or shrink -scale\n",
+			*budgetMS, r.Issued, r.Completed)
+		os.Exit(exitOverBudget)
 	}
 }
 

@@ -13,6 +13,7 @@ package ahb
 
 import (
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 )
 
 // Config parameterizes an AHB layer.
@@ -47,6 +48,11 @@ type Bus struct {
 	busyCycles int64
 	dataBeats  int64
 	granted    int64
+	// stallCycles counts idle-bus cycles where at least one master had a
+	// request queued but no grant could be issued (slave FIFO full or no
+	// decodable target) — the wait-state starvation the paper charges
+	// against the shared-bus topology.
+	stallCycles int64
 }
 
 // New builds an empty AHB layer.
@@ -105,7 +111,20 @@ func (b *Bus) Eval() {
 	b.cur, b.curTarget = b.arbitrate()
 	if b.cur != nil {
 		b.busyCycles++
+	} else if b.pendingRequest() {
+		b.stallCycles++
 	}
+}
+
+// pendingRequest reports whether any master has a request queued — used to
+// distinguish a stalled idle cycle from a genuinely quiet one.
+func (b *Bus) pendingRequest() bool {
+	for _, ip := range b.initiators {
+		if ip.Req.CanPop() {
+			return true
+		}
+	}
+	return false
 }
 
 // arbitrate grants one queued request round-robin and hands it to its slave;
@@ -137,22 +156,46 @@ func (b *Bus) arbitrate() (*bus.Request, int) {
 // Update: the bus owns no FIFOs.
 func (b *Bus) Update() {}
 
+// RegisterMetrics registers the layer's telemetry under "ahb.<name>.*" on
+// the given clock domain: grants, busy/stall cycles, data beats, and an
+// in-flight gauge (0/1/2 — the current data phase plus the pipelined
+// address phase). Func-backed: the grant path is untouched.
+func (b *Bus) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "ahb." + b.name + "."
+	m.CounterFunc(p+"grants", func() int64 { return b.granted })
+	m.CounterFunc(p+"busy_cycles", func() int64 { return b.busyCycles })
+	m.CounterFunc(p+"stall_cycles", func() int64 { return b.stallCycles })
+	m.CounterFunc(p+"data_beats", func() int64 { return b.dataBeats })
+	m.GaugeFunc(p+"outstanding", clock, func() int64 {
+		var n int64
+		if b.cur != nil {
+			n++
+		}
+		if b.next != nil {
+			n++
+		}
+		return n
+	})
+}
+
 // Stats reports bus activity.
 func (b *Bus) Stats() Stats {
 	return Stats{
-		Cycles:     b.cycles,
-		BusyCycles: b.busyCycles,
-		DataBeats:  b.dataBeats,
-		Granted:    b.granted,
+		Cycles:      b.cycles,
+		BusyCycles:  b.busyCycles,
+		DataBeats:   b.dataBeats,
+		Granted:     b.granted,
+		StallCycles: b.stallCycles,
 	}
 }
 
 // Stats summarizes AHB activity.
 type Stats struct {
-	Cycles     int64
-	BusyCycles int64
-	DataBeats  int64
-	Granted    int64
+	Cycles      int64
+	BusyCycles  int64
+	DataBeats   int64
+	Granted     int64
+	StallCycles int64
 }
 
 // Utilization is the busy fraction of the bus (held cycles, including the

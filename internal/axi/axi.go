@@ -20,6 +20,7 @@ package axi
 
 import (
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 )
 
 // Config parameterizes an AXI interconnect.
@@ -106,6 +107,9 @@ type Interconnect struct {
 	cycles    int64
 	forwarded int64
 	beatsOut  int64
+	// wStalls counts cycles a completed write transfer could not be handed
+	// to its slave because the slave FIFO was full (WREADY backpressure).
+	wStalls int64
 }
 
 // New builds an empty AXI interconnect.
@@ -237,6 +241,7 @@ func (x *Interconnect) evalWriteChannels(t int) {
 			// the slave FIFO since the AW handshake, stall W until a
 			// slot frees (WREADY backpressure).
 			if !x.canDeliverReq(t) {
+				x.wStalls++
 				return
 			}
 			x.deliverReq(t, pt.wCur)
@@ -392,9 +397,52 @@ func (x *Interconnect) retire(i int, id uint64) {
 // Outstanding returns initiator i's in-flight transaction count.
 func (x *Interconnect) Outstanding(i int) int { return x.is[i].outst }
 
+// totalOutstanding sums in-flight transactions across all master interfaces.
+func (x *Interconnect) totalOutstanding() int64 {
+	var t int64
+	for i := range x.is {
+		t += int64(x.is[i].outst)
+	}
+	return t
+}
+
+// RegisterMetrics registers the interconnect's telemetry under
+// "axi.<name>.*" on the given clock domain: grants (forwarded requests),
+// response beats, write-channel backpressure stalls, aggregate per-channel
+// busy cycles, and the outstanding-occupancy gauge. Func-backed: the
+// channel hot paths are untouched.
+func (x *Interconnect) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "axi." + x.name + "."
+	m.CounterFunc(p+"grants", func() int64 { return x.forwarded })
+	m.CounterFunc(p+"beats_out", func() int64 { return x.beatsOut })
+	m.CounterFunc(p+"w_stall_cycles", func() int64 { return x.wStalls })
+	m.CounterFunc(p+"ar_busy_cycles", func() int64 {
+		var t int64
+		for i := range x.ts {
+			t += x.ts[i].busyAR
+		}
+		return t
+	})
+	m.CounterFunc(p+"w_busy_cycles", func() int64 {
+		var t int64
+		for i := range x.ts {
+			t += x.ts[i].busyW
+		}
+		return t
+	})
+	m.CounterFunc(p+"r_busy_cycles", func() int64 {
+		var t int64
+		for i := range x.is {
+			t += x.is[i].busyR
+		}
+		return t
+	})
+	m.GaugeFunc(p+"outstanding", clock, x.totalOutstanding)
+}
+
 // Stats reports interconnect activity.
 func (x *Interconnect) Stats() Stats {
-	s := Stats{Cycles: x.cycles, Forwarded: x.forwarded, BeatsOut: x.beatsOut}
+	s := Stats{Cycles: x.cycles, Forwarded: x.forwarded, BeatsOut: x.beatsOut, WStalls: x.wStalls}
 	for i := range x.ts {
 		s.WChannelBusy = append(s.WChannelBusy, x.ts[i].busyW)
 		s.ARChannelBusy = append(s.ARChannelBusy, x.ts[i].busyAR)
@@ -411,6 +459,7 @@ type Stats struct {
 	Cycles        int64
 	Forwarded     int64
 	BeatsOut      int64
+	WStalls       int64
 	WChannelBusy  []int64 // per target
 	ARChannelBusy []int64 // per target
 	RChannelBusy  []int64 // per initiator

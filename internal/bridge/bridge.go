@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
 	"mpsocsim/internal/stats"
 )
@@ -667,6 +668,27 @@ func (b *Bridge) retireWrite(ctx *reqCtx, postedForward bool) {
 // Outstanding returns the number of transactions currently inside the
 // bridge (accepted but not retired).
 func (b *Bridge) Outstanding() int { return b.outstanding }
+
+// RegisterMetrics registers the bridge's telemetry under
+// "bridge.<name>.*": acceptance/blocking counters, the residency latency
+// histogram, and occupancy gauges for the store-and-forward delay line
+// (posted-write depth), the clock-crossing request FIFO and the upstream
+// emit queue. Gauges live on the source clock domain — the side the paper's
+// cluster-pressure analysis observes. Func-backed: the bridge hot paths are
+// untouched.
+func (b *Bridge) RegisterMetrics(m *metrics.Registry) {
+	p := "bridge." + b.name + "."
+	clock := b.srcClk.Name()
+	m.CounterFunc(p+"accepted", func() int64 { return b.accepted })
+	m.CounterFunc(p+"reads", func() int64 { return b.reads })
+	m.CounterFunc(p+"writes", func() int64 { return b.writes })
+	m.CounterFunc(p+"blocked_cycles", func() int64 { return b.blockedCycles })
+	m.Histogram(p+"residency", &b.residency)
+	m.GaugeFunc(p+"outstanding", clock, func() int64 { return int64(b.outstanding) })
+	m.GaugeFunc(p+"delay_line_depth", clock, func() int64 { return int64(len(b.delayLine)) })
+	m.GaugeFunc(p+"reqx_depth", clock, func() int64 { return int64(b.reqX.Len()) })
+	m.GaugeFunc(p+"emitq_depth", clock, func() int64 { return int64(len(b.emitQ)) })
+}
 
 // Stats reports bridge activity.
 func (b *Bridge) Stats() Stats {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
 )
 
@@ -377,6 +378,33 @@ func (c *Core) issueWrite(addr uint64, beats int, posted bool) bool {
 func (c *Core) retireBundle() {
 	c.bundles++
 	c.fetchDone = false
+}
+
+// RegisterMetrics registers the core's telemetry under "dsp.<name>.*" on the
+// given clock domain: pipeline counters (cycles, stalls, bundles, instrs),
+// memory-op counters, raw I-/D-cache hit/miss/writeback counters (hit rates
+// are re-derivable from these), and an outstanding-refill gauge. Func-backed:
+// the per-cycle pipeline is untouched.
+func (c *Core) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "dsp." + c.cfg.Name + "."
+	m.CounterFunc(p+"cycles", func() int64 { return c.cycles })
+	m.CounterFunc(p+"stall_cycles", func() int64 { return c.stallCycles })
+	m.CounterFunc(p+"bundles", func() int64 { return c.bundles })
+	m.CounterFunc(p+"instrs", func() int64 { return c.instrs })
+	m.CounterFunc(p+"loads", func() int64 { return c.loads })
+	m.CounterFunc(p+"stores", func() int64 { return c.stores })
+	m.CounterFunc(p+"refills", func() int64 { return c.refills })
+	m.CounterFunc(p+"writebacks", func() int64 { return c.writebacks })
+	m.CounterFunc(p+"icache_hits", func() int64 { return c.icache.hits })
+	m.CounterFunc(p+"icache_misses", func() int64 { return c.icache.misses })
+	m.CounterFunc(p+"dcache_hits", func() int64 { return c.dcache.hits })
+	m.CounterFunc(p+"dcache_misses", func() int64 { return c.dcache.misses })
+	m.GaugeFunc(p+"refill_outstanding", clock, func() int64 {
+		if c.refillWait {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Stats reports core activity.

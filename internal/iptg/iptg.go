@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
 	"mpsocsim/internal/stats"
 )
@@ -466,6 +467,26 @@ func (g *Generator) Stats() []AgentStats {
 		})
 	}
 	return out
+}
+
+// RegisterMetrics registers the generator's telemetry under "ip.<name>.*" on
+// the given clock domain: IP-level issue/complete counters and a request-FIFO
+// depth gauge, plus per-agent counters and the per-agent completion-latency
+// histogram under "ip.<name>.<agent>.*". Func-backed: the issue path is
+// untouched.
+func (g *Generator) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "ip." + g.cfg.Name + "."
+	m.CounterFunc(p+"issued", func() int64 { return g.issuedTotal })
+	m.CounterFunc(p+"completed", func() int64 { return g.completedTotal })
+	m.GaugeFunc(p+"req_depth", clock, func() int64 { return int64(g.port.Req.Len()) })
+	for _, a := range g.agents {
+		a := a
+		ap := p + a.cfg.Name + "."
+		m.CounterFunc(ap+"issued", func() int64 { return a.issued })
+		m.CounterFunc(ap+"completed", func() int64 { return a.completed })
+		m.CounterFunc(ap+"bytes", func() int64 { return a.bytes })
+		m.Histogram(ap+"latency", &a.latency)
+	}
 }
 
 // Issued returns the total transactions issued by all agents.

@@ -17,6 +17,7 @@ package lmi
 
 import (
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sdram"
 	"mpsocsim/internal/stats"
 )
@@ -401,6 +402,43 @@ func (c *Controller) advanceAccess(req *bus.Request) {
 		c.streams = append(c.streams, stream{req: req, beats: 1, nextAt: ackAt, isAck: true})
 	}
 	c.cur = nil
+}
+
+// RegisterMetrics registers the controller's telemetry under "lmi.<name>.*"
+// on the given clock domain: the generalized Fig.6 observables (input-FIFO
+// queue depth gauge plus full/storing/norequest/empty cycle counters from
+// the monitor's phase trackers), engine counters, SDRAM command and
+// page-hit/miss counters, a bank-busy gauge, and the read-latency
+// histogram. Func-backed: the scheduling hot paths are untouched.
+func (c *Controller) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "lmi." + c.name + "."
+	m.CounterFunc(p+"served", func() int64 { return c.served })
+	m.CounterFunc(p+"reads", func() int64 { return c.reads })
+	m.CounterFunc(p+"writes", func() int64 { return c.writes })
+	m.CounterFunc(p+"merged_runs", func() int64 { return c.mergedRuns })
+	m.CounterFunc(p+"lookahead_hits", func() int64 { return c.lookaheadHit })
+	m.CounterFunc(p+"busy_cycles", func() int64 { return c.busy })
+	m.CounterFunc(p+"cycles", func() int64 { return c.now })
+	m.CounterFunc(p+"fifo_full_cycles", func() int64 { return c.monitor.phases.TotalCount(StateFull) })
+	m.CounterFunc(p+"fifo_storing_cycles", func() int64 { return c.monitor.phases.TotalCount(StateStoring) })
+	m.CounterFunc(p+"fifo_norequest_cycles", func() int64 { return c.monitor.phases.TotalCount(StateNoRequest) })
+	m.CounterFunc(p+"fifo_empty_cycles", func() int64 { return c.monitor.empty.TotalCount(stateEmpty) })
+	m.CounterFunc(p+"sdram_activates", func() int64 { return c.dev.Stats().Activates })
+	m.CounterFunc(p+"sdram_precharges", func() int64 { return c.dev.Stats().Precharges })
+	m.CounterFunc(p+"sdram_refreshes", func() int64 { return c.dev.Stats().Refreshes })
+	m.CounterFunc(p+"sdram_row_hits", func() int64 { return c.dev.Stats().RowHits })
+	m.CounterFunc(p+"sdram_row_misses", func() int64 { return c.dev.Stats().RowMisses })
+	m.Histogram(p+"read_latency", &c.latency)
+	m.GaugeFunc(p+"queue_depth", clock, func() int64 { return int64(c.port.Req.Len()) })
+	m.GaugeFunc(p+"banks_open", clock, func() int64 {
+		var n int64
+		for b := 0; b < c.cfg.SDRAM.Geometry.Banks; b++ {
+			if c.dev.OpenRow(b) != -1 {
+				n++
+			}
+		}
+		return n
+	})
 }
 
 // Stats reports controller activity.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 )
 
 // Config parameterizes an on-chip memory.
@@ -149,6 +150,21 @@ func (m *Memory) Eval() {
 // Update commits the port FIFOs.
 func (m *Memory) Update() {
 	m.port.Update()
+}
+
+// RegisterMetrics registers the memory's telemetry under "mem.<name>.*" on
+// the given clock domain: access/beat/busy counters, a response-push stall
+// counter, and a request-queue-depth gauge. Func-backed: the beat state
+// machine is untouched.
+func (m *Memory) RegisterMetrics(reg *metrics.Registry, clock string) {
+	p := "mem." + m.name + "."
+	reg.CounterFunc(p+"reads", func() int64 { return m.reads })
+	reg.CounterFunc(p+"writes", func() int64 { return m.writes })
+	reg.CounterFunc(p+"beats", func() int64 { return m.beats })
+	reg.CounterFunc(p+"busy_cycles", func() int64 { return m.busyCycles })
+	reg.CounterFunc(p+"total_cycles", func() int64 { return m.totalCycles })
+	reg.CounterFunc(p+"resp_stall_cycles", func() int64 { return m.stalledRespPush })
+	reg.GaugeFunc(p+"queue_depth", clock, func() int64 { return int64(m.port.Req.Len()) })
 }
 
 // Stats reports lifetime counters.

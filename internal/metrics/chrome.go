@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/tracecap"
+)
+
+// Chrome trace-event export: renders a captured transaction trace (duration
+// events — one slice per transaction lifecycle, one thread row per
+// initiator) together with the registry's sampled timelines (counter tracks
+// — one per gauge) into the Chrome trace-event JSON format, loadable in
+// ui.perfetto.dev or chrome://tracing. Every clock domain's cycles are
+// converted to a shared picosecond axis through its period, then to the
+// trace format's microsecond unit, so cross-domain causality (an initiator
+// burst inflating the LMI queue two domains away) lines up visually.
+
+// Trace-event pids: one synthetic "process" per event family keeps the
+// Perfetto track groups tidy.
+const (
+	chromePidInitiators = 1
+	chromePidCounters   = 2
+)
+
+// chromeEvent is one trace event. Field presence follows the trace-event
+// format spec: "X" (complete) events carry dur; "C" (counter) and "M"
+// (metadata) events don't.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// psToUS converts picoseconds to the trace format's microseconds.
+func psToUS(ps int64) float64 { return float64(ps) / 1e6 }
+
+// WriteChromeTrace renders tr and snap into Chrome trace-event JSON. Either
+// argument may be nil: a nil trace omits the lifecycle slices, a nil
+// snapshot (or one without timelines) omits the counter tracks. Events are
+// emitted sorted by timestamp (metadata first), which both viewers accept
+// and which makes the output deterministic and easy to assert on.
+func WriteChromeTrace(w io.Writer, tr *tracecap.Trace, snap *Snapshot) error {
+	var events []chromeEvent
+	meta := func(pid, tid int, kind, name string) {
+		events = append(events, chromeEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePidInitiators, 0, "process_name", "initiators")
+	meta(chromePidCounters, 0, "process_name", "metrics")
+
+	var body []chromeEvent
+	if tr != nil {
+		for i, s := range tr.Streams {
+			tid := i + 1
+			meta(chromePidInitiators, tid, "thread_name", s.Name)
+			for j := range s.Events {
+				ev := &s.Events[j]
+				lat := ev.Latency
+				if lat < 0 {
+					lat = 0 // still in flight at capture stop: zero-width marker
+				}
+				name := "read"
+				if ev.Op == bus.OpWrite {
+					name = "write"
+					if ev.Posted {
+						name = "posted-write"
+					}
+				}
+				body = append(body, chromeEvent{
+					Name: name,
+					Ph:   "X",
+					Ts:   psToUS(ev.IssueCycle * s.PeriodPS),
+					Dur:  psToUS(lat * s.PeriodPS),
+					Pid:  chromePidInitiators,
+					Tid:  tid,
+					Args: map[string]any{
+						"addr":  fmt.Sprintf("%#x", ev.Addr),
+						"beats": ev.Beats,
+						"prio":  ev.Prio,
+					},
+				})
+			}
+		}
+	}
+	if snap != nil {
+		for _, tl := range snap.Timelines {
+			for ti, track := range tl.Tracks {
+				for si, cyc := range tl.Cycles {
+					body = append(body, chromeEvent{
+						Name: track,
+						Ph:   "C",
+						Ts:   psToUS(cyc * tl.PeriodPS),
+						Pid:  chromePidCounters,
+						Tid:  0,
+						Args: map[string]any{"value": tl.Values[si][ti]},
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(body, func(i, j int) bool { return body[i].Ts < body[j].Ts })
+	events = append(events, body...)
+
+	out := struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"testing"
+
+	"mpsocsim/internal/stats"
+)
+
+func TestCounterOwnedAndFunc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.grants")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("owned counter = %d, want 5", got)
+	}
+	var backing int64 = 7
+	r.CounterFunc("a.stalls", func() int64 { return backing })
+	snap := r.Snapshot()
+	if v := snap.MustCounter("a.grants"); v != 5 {
+		t.Fatalf("snapshot grants = %d, want 5", v)
+	}
+	if v := snap.MustCounter("a.stalls"); v != 7 {
+		t.Fatalf("snapshot stalls = %d, want 7", v)
+	}
+	// The snapshot is detached: later component changes don't leak in.
+	backing = 100
+	if v := snap.MustCounter("a.stalls"); v != 7 {
+		t.Fatalf("snapshot not detached: stalls = %d, want 7", v)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x", "central")
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	var h stats.Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	r := NewRegistry()
+	r.Histogram("lat", &h)
+	snap := r.Snapshot()
+	hv := snap.Histogram("lat")
+	if hv == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hv.N != 1000 || hv.Min != 1 || hv.Max != 1000 {
+		t.Fatalf("summary = {N:%d Min:%d Max:%d}, want {1000 1 1000}", hv.N, hv.Min, hv.Max)
+	}
+	if hv.P50 != h.Quantile(0.5) || hv.P90 != h.Quantile(0.9) {
+		t.Fatal("snapshot quantiles disagree with source histogram")
+	}
+	// Arbitrary quantiles re-derive from the embedded copy.
+	if got, want := hv.Quantile(0.99), h.Quantile(0.99); got != want {
+		t.Fatalf("Quantile(0.99) = %d, want %d", got, want)
+	}
+}
+
+func TestSamplerRecordsAndWraps(t *testing.T) {
+	r := NewRegistry()
+	var level int64
+	r.GaugeFunc("q.depth", "clk", func() int64 { return level })
+	r.GaugeFunc("other.domain", "elsewhere", func() int64 { return 99 })
+	s := r.NewSampler("clk", 4000, 10, 4)
+	if s.Tracks() != 1 {
+		t.Fatalf("sampler tracks = %d, want 1 (gauge filtering by clock)", s.Tracks())
+	}
+	// 100 cycles at every=10 -> 10 samples into a 4-slot ring: 6 dropped,
+	// slots hold cycles 70..100.
+	for c := int64(1); c <= 100; c++ {
+		level = c
+		s.Eval()
+		s.Update()
+	}
+	tl := r.Snapshot().Timelines[0]
+	if tl.Clock != "clk" || tl.PeriodPS != 4000 || tl.Every != 10 {
+		t.Fatalf("timeline header = %+v", tl)
+	}
+	if tl.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", tl.Dropped)
+	}
+	wantCycles := []int64{70, 80, 90, 100}
+	if len(tl.Cycles) != len(wantCycles) {
+		t.Fatalf("kept %d samples, want %d", len(tl.Cycles), len(wantCycles))
+	}
+	for i, want := range wantCycles {
+		if tl.Cycles[i] != want {
+			t.Fatalf("cycle[%d] = %d, want %d", i, tl.Cycles[i], want)
+		}
+		if tl.Values[i][0] != want {
+			t.Fatalf("value[%d] = %d, want %d (gauge read at sample time)", i, tl.Values[i][0], want)
+		}
+	}
+}
+
+func TestSamplerNoAllocSteadyState(t *testing.T) {
+	r := NewRegistry()
+	var level int64
+	for i := 0; i < 8; i++ {
+		name := string(rune('a'+i)) + ".depth"
+		r.GaugeFunc(name, "clk", func() int64 { return level })
+	}
+	s := r.NewSampler("clk", 4000, 1, 16) // sample every cycle, wrap fast
+	for i := 0; i < 100; i++ {
+		s.Eval()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		level++
+		s.Eval()
+	})
+	if allocs != 0 {
+		t.Fatalf("sampler Eval allocates: %.2f allocs/cycle (want 0)", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"mpsocsim/internal/ahb"
 	"mpsocsim/internal/axi"
@@ -11,6 +12,7 @@ import (
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/lmi"
 	"mpsocsim/internal/mem"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/replay"
 	"mpsocsim/internal/sim"
 	"mpsocsim/internal/stbus"
@@ -40,6 +42,7 @@ type Initiator interface {
 	Completed() int64
 	Stats() []iptg.AgentStats
 	UseRequestPool(*bus.RequestPool)
+	RegisterMetrics(*metrics.Registry, string)
 }
 
 // Platform is a fully assembled instance ready to Run.
@@ -48,6 +51,11 @@ type Platform struct {
 	Kernel     *sim.Kernel
 	CentralClk *sim.Clock
 	CPUClk     *sim.Clock
+
+	// Metrics is the platform-wide instrument registry; every subsystem
+	// registers its counters, gauges and histograms here during Build, in a
+	// fixed order, so snapshots enumerate deterministically.
+	Metrics *metrics.Registry
 
 	centralFab bus.Fabric
 	clusterFab []bus.Fabric
@@ -60,8 +68,25 @@ type Platform struct {
 	onchip *mem.Memory
 	ctrl   *lmi.Controller
 
+	// fabrics lists every interconnect node with its clock-domain name, in
+	// build order, for metric registration.
+	fabrics  []fabricEntry
+	samplers []*metrics.Sampler
+
 	ids  bus.IDSource
 	pool bus.RequestPool
+}
+
+// fabricEntry pairs an interconnect node with the clock domain it runs in.
+type fabricEntry struct {
+	fab   bus.Fabric
+	clock string
+}
+
+// instrumented is the metric-registration surface every concrete fabric
+// (stbus.Node, ahb.Bus, axi.Bus) provides.
+type instrumented interface {
+	RegisterMetrics(*metrics.Registry, string)
 }
 
 // Build assembles a platform instance from the spec.
@@ -74,6 +99,7 @@ func Build(spec Spec) (*Platform, error) {
 	}
 	p.CentralClk = p.Kernel.NewClock("central", CentralMHz)
 	p.centralFab = p.newFabric("n8")
+	p.fabrics = append(p.fabrics, fabricEntry{p.centralFab, "central"})
 
 	if err := p.buildMemory(); err != nil {
 		return nil, err
@@ -96,7 +122,83 @@ func Build(spec Spec) (*Platform, error) {
 		p.CentralClk.Register(p.ctrl)
 	}
 	p.wirePool()
+	p.registerMetrics()
 	return p, nil
+}
+
+// registerMetrics builds the instrument registry. Registration happens once
+// per Build in a fixed order — fabrics in build order, bridges by sorted
+// name, memory subsystem, DSP core, then initiators in attachment order — so
+// every run of the same spec enumerates instruments identically. All
+// instruments are func-backed reads of counters the components already
+// maintain: attaching the registry adds no hot-path cost.
+func (p *Platform) registerMetrics() {
+	p.Metrics = metrics.NewRegistry()
+	for _, fe := range p.fabrics {
+		if in, ok := fe.fab.(instrumented); ok {
+			in.RegisterMetrics(p.Metrics, fe.clock)
+		}
+	}
+	names := make([]string, 0, len(p.bridges))
+	for name := range p.bridges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p.bridges[name].RegisterMetrics(p.Metrics)
+	}
+	if p.onchip != nil {
+		p.onchip.RegisterMetrics(p.Metrics, "central")
+	}
+	if p.ctrl != nil {
+		p.ctrl.RegisterMetrics(p.Metrics, "central")
+	}
+	if p.core != nil {
+		p.core.RegisterMetrics(p.Metrics, "cpu")
+	}
+	for i, g := range p.gens {
+		g.RegisterMetrics(p.Metrics, p.genClk[i].Name())
+	}
+}
+
+// EnableTimelines attaches one gauge sampler per clock domain, turning every
+// registered gauge into a cycle-stamped timeline (the counter tracks of the
+// Chrome trace export and the series of the JSON report). every is the
+// sampling window in central-clock cycles and capSamples the ring capacity
+// per domain; both fall back to the metrics package defaults when <= 0.
+// Call after Build and before Run — the samplers' ring storage is
+// preallocated here, so the steady-state zero-allocation invariant holds
+// with timelines enabled. Calling it twice is a no-op.
+//
+// All domains are sampled by a single trigger registered on the central
+// clock: per-cycle cost is one decrement and one branch for the whole
+// platform, instead of an Eval/Update interface dispatch per domain per
+// edge (which measurably slows the kernel's hot loop). Each sampled row is
+// stamped with its own domain's cycle counter at the trigger instant, so
+// timestamps stay exact in every domain.
+func (p *Platform) EnableTimelines(every int64, capSamples int) {
+	if len(p.samplers) > 0 {
+		return
+	}
+	if every <= 0 {
+		every = metrics.DefaultSampleEvery
+	}
+	clocks := p.Kernel.Clocks()
+	for _, clk := range clocks {
+		s := p.Metrics.NewSampler(clk.Name(), clk.PeriodPS(), every, capSamples)
+		p.samplers = append(p.samplers, s)
+	}
+	left := every
+	clocks[0].Register(&sim.ClockedFunc{OnEval: func() {
+		left--
+		if left > 0 {
+			return
+		}
+		left = every
+		for i, s := range p.samplers {
+			s.Sample(clocks[i].Cycles())
+		}
+	}})
 }
 
 // wirePool hands every component the platform-wide request pool so steady
@@ -205,6 +307,7 @@ func (p *Platform) buildMemory() error {
 		lmiNode := stbus.NewNode("lmi_node", stbus.Config{
 			Type: stbus.Type3, MaxOutstanding: 8, BytesPerBeat: 8,
 		}, bus.Single(0))
+		p.fabrics = append(p.fabrics, fabricEntry{lmiNode, "central"})
 		p.centralFab.AttachTarget(br.TargetPort())
 		lmiNode.AttachInitiator(br.InitiatorPort())
 		lmiNode.AttachTarget(p.ctrl.Port())
@@ -247,6 +350,7 @@ func (p *Platform) buildClusters() error {
 			}
 			clk := p.Kernel.NewClock(cl.name, freq)
 			fab := p.newFabric(cl.name)
+			p.fabrics = append(p.fabrics, fabricEntry{fab, cl.name})
 			br := bridge.New(cl.name+"_br", p.clusterBridgeConfig(), clk, p.CentralClk)
 			p.bridges[cl.name+"_br"] = br
 			fab.AttachTarget(br.TargetPort())
@@ -347,6 +451,7 @@ func (p *Platform) buildDSP() {
 	link := stbus.NewNode("st220_link", stbus.Config{
 		Type: stbus.Type3, MaxOutstanding: 4, BytesPerBeat: 4,
 	}, bus.Single(0))
+	p.fabrics = append(p.fabrics, fabricEntry{link, "cpu"})
 	link.AttachInitiator(p.core.Port())
 	link.AttachTarget(conv.TargetPort())
 	p.centralFab.AttachInitiator(conv.InitiatorPort())

@@ -1,0 +1,143 @@
+package platform
+
+import (
+	"encoding/json"
+	"io"
+
+	"mpsocsim/internal/bridge"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/lmi"
+	"mpsocsim/internal/metrics"
+)
+
+// ReportSchema identifies the JSON run-report layout. Consumers must check
+// it before interpreting the rest of the document. The version is bumped
+// when a field changes meaning or disappears; purely additive changes keep
+// it.
+const ReportSchema = "mpsocsim.report/1"
+
+// SpecReport is the JSON-stable description of the run's configuration: the
+// knobs that determine the run, flattened to plain values. A replay spec is
+// described by its mode and stream names — the recorded events themselves
+// are the run's *input* and would dwarf the report.
+type SpecReport struct {
+	Platform string `json:"platform"`
+	Protocol string `json:"protocol"`
+	Topology string `json:"topology"`
+	Memory   string `json:"memory"`
+
+	STBusType            string  `json:"stbus_type,omitempty"`
+	MaxOutstanding       int     `json:"max_outstanding"`
+	TargetRespDepth      int     `json:"target_resp_depth"`
+	SplitLMIBridge       bool    `json:"split_lmi_bridge,omitempty"`
+	NoMessageArbitration bool    `json:"no_message_arbitration,omitempty"`
+	BridgeLatency        int     `json:"bridge_latency,omitempty"`
+	OnChipWaitStates     int     `json:"onchip_wait_states,omitempty"`
+	WithDSP              bool    `json:"with_dsp,omitempty"`
+	DSPDCacheKB          int     `json:"dsp_dcache_kb,omitempty"`
+	DSPWorkingSetKB      int     `json:"dsp_working_set_kb,omitempty"`
+	WorkloadScale        float64 `json:"workload_scale"`
+	OutstandingOverride  int     `json:"outstanding_override,omitempty"`
+	ForceNonPostedWrites bool    `json:"force_non_posted_writes,omitempty"`
+	TwoPhase             bool    `json:"two_phase,omitempty"`
+	Seed                 uint64  `json:"seed"`
+
+	Replay        bool     `json:"replay,omitempty"`
+	ReplayMode    string   `json:"replay_mode,omitempty"`
+	ReplayStreams []string `json:"replay_streams,omitempty"`
+}
+
+// DSPReport is the core's slice of the report.
+type DSPReport struct {
+	Cycles int64   `json:"cycles"`
+	CPI    float64 `json:"cpi"`
+}
+
+// Report is the full machine-readable run report: the schema version, the
+// flattened spec, the run outcome, the per-subsystem statistics the text
+// summary prints, and the complete metrics snapshot (every registered
+// counter, gauge, histogram and sampled timeline).
+type Report struct {
+	Schema         string                       `json:"schema"`
+	Spec           SpecReport                   `json:"spec"`
+	Done           bool                         `json:"done"`
+	Stalled        bool                         `json:"stalled,omitempty"`
+	ExecPS         int64                        `json:"exec_ps"`
+	CentralCycles  int64                        `json:"central_cycles"`
+	Issued         int64                        `json:"issued"`
+	Completed      int64                        `json:"completed"`
+	TotalBytes     int64                        `json:"total_bytes"`
+	ThroughputMBps float64                      `json:"throughput_mbps"`
+	MemUtilization float64                      `json:"mem_utilization"`
+	LMI            *lmi.Stats                   `json:"lmi,omitempty"`
+	DSP            *DSPReport                   `json:"dsp,omitempty"`
+	IPs            map[string][]iptg.AgentStats `json:"ips"`
+	Bridges        map[string]bridge.Stats      `json:"bridges,omitempty"`
+	Metrics        *metrics.Snapshot            `json:"metrics,omitempty"`
+}
+
+// Report assembles the schema-versioned run report from the result.
+func (r Result) Report() Report {
+	s := r.Spec
+	sr := SpecReport{
+		Platform:             s.Name(),
+		Protocol:             s.Protocol.String(),
+		Topology:             s.Topology.String(),
+		Memory:               s.Memory.String(),
+		MaxOutstanding:       s.MaxOutstanding,
+		TargetRespDepth:      s.TargetRespDepth,
+		SplitLMIBridge:       s.SplitLMIBridge,
+		NoMessageArbitration: s.NoMessageArbitration,
+		BridgeLatency:        s.BridgeLatency,
+		OnChipWaitStates:     s.OnChipWaitStates,
+		WithDSP:              s.WithDSP,
+		DSPDCacheKB:          s.DSPDCacheKB,
+		DSPWorkingSetKB:      s.DSPWorkingSetKB,
+		WorkloadScale:        s.WorkloadScale,
+		OutstandingOverride:  s.OutstandingOverride,
+		ForceNonPostedWrites: s.ForceNonPostedWrites,
+		TwoPhase:             s.TwoPhase,
+		Seed:                 s.Seed,
+	}
+	if s.Protocol == STBus {
+		sr.STBusType = s.STBusType.String()
+	}
+	if s.Replay != nil {
+		sr.Replay = true
+		sr.ReplayMode = s.ReplayMode.String()
+		sr.ReplayStreams = s.Replay.StreamNames()
+	}
+	rep := Report{
+		Schema:         ReportSchema,
+		Spec:           sr,
+		Done:           r.Done,
+		Stalled:        r.Stalled,
+		ExecPS:         r.ExecPS,
+		CentralCycles:  r.CentralCycles,
+		Issued:         r.Issued,
+		Completed:      r.Completed,
+		TotalBytes:     r.TotalBytes,
+		ThroughputMBps: r.ThroughputMBps(),
+		MemUtilization: r.MemUtilization,
+		IPs:            r.IPs,
+		Bridges:        r.Bridges,
+		Metrics:        r.Metrics,
+	}
+	if r.Spec.Memory == LMIDDR {
+		l := r.LMI
+		rep.LMI = &l
+	}
+	if r.DSP.Present {
+		rep.DSP = &DSPReport{Cycles: r.DSP.Cycles, CPI: r.DSP.CPI}
+	}
+	return rep
+}
+
+// WriteJSON renders the run report as indented JSON. Map keys serialize in
+// sorted order and instruments enumerate in registration order, so two
+// identical runs produce byte-identical documents.
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Report())
+}

@@ -1,0 +1,69 @@
+// Package profiling wires the standard runtime/pprof CPU and heap profiles
+// behind command-line flags, shared by the repo's benchmark and experiment
+// commands so profile capture works identically everywhere:
+//
+//	flags := profiling.DefineFlags()
+//	flag.Parse()
+//	stop, err := flags.Start()
+//	if err != nil { ... }
+//	defer stop()
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile output paths registered on the default flag set.
+type Flags struct {
+	CPU *string
+	Mem *string
+}
+
+// DefineFlags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func DefineFlags() Flags {
+	return Flags{
+		CPU: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function ends the CPU profile and, when -memprofile was given, writes the
+// heap profile; call it exactly once on every exit path (defer it right
+// after Start).
+func (f Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.CPU != "" {
+		cpuFile, err = os.Create(*f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *f.Mem != "" {
+			mf, err := os.Create(*f.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

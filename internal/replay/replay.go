@@ -26,6 +26,7 @@ import (
 
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
 	"mpsocsim/internal/stats"
 	"mpsocsim/internal/tracecap"
@@ -255,6 +256,22 @@ func (in *Initiator) issue() {
 	} else {
 		in.completed++ // posted writes complete at issue
 	}
+}
+
+// RegisterMetrics registers the replayer's telemetry under "ip.<name>.*" on
+// the given clock domain, mirroring the live generator's IP-level shape (one
+// synthetic agent named "replay") so replayed runs export through the same
+// metric names. Func-backed: the replay issue path is untouched.
+func (in *Initiator) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "ip." + in.Name() + "."
+	m.CounterFunc(p+"issued", func() int64 { return in.issued })
+	m.CounterFunc(p+"completed", func() int64 { return in.completed })
+	m.GaugeFunc(p+"req_depth", clock, func() int64 { return int64(in.port.Req.Len()) })
+	ap := p + "replay[" + in.cfg.Mode.String() + "]."
+	m.CounterFunc(ap+"issued", func() int64 { return in.issued })
+	m.CounterFunc(ap+"completed", func() int64 { return in.completed })
+	m.CounterFunc(ap+"bytes", func() int64 { return in.bytes })
+	m.Histogram(ap+"latency", &in.latency)
 }
 
 // Issued returns the transactions issued so far.

@@ -140,6 +140,10 @@ func NewKernel() *Kernel { return &Kernel{} }
 // Now returns current simulated time in picoseconds.
 func (k *Kernel) Now() int64 { return k.nowPS }
 
+// Clocks returns the registered clock domains in creation order. The slice is
+// the kernel's own — callers must not mutate it.
+func (k *Kernel) Clocks() []*Clock { return k.clocks }
+
 // Stop requests that the current Run loop exit after the in-flight edge.
 func (k *Kernel) Stop() { k.stopped = true }
 

@@ -70,22 +70,42 @@ func (h *Histogram) Min() int64 { return h.min }
 // Max returns the largest sample.
 func (h *Histogram) Max() int64 { return h.max }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
-// bucket boundaries — adequate for order-of-magnitude latency reporting.
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the power-of-
+// two bucket holding the target rank and interpolating linearly within it,
+// so the estimate tracks the sample distribution instead of snapping to the
+// bucket's upper bound (which over-reports by up to 2x at p50). The result
+// is clamped into [Min, Max] and is monotonically non-decreasing in q.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
 	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
 	var acc int64
 	for b, c := range h.counts {
 		acc += c
-		if acc >= target {
-			if b == 0 {
-				return 0
-			}
-			return 1<<uint(b) - 1
+		if acc < target {
+			continue
 		}
+		if b == 0 {
+			return 0
+		}
+		// Bucket b holds samples in [2^(b-1), 2^b - 1]. rank is the
+		// target's 1-based position inside this bucket's c samples;
+		// interpolate assuming they spread uniformly across the range.
+		lo := int64(1) << uint(b-1)
+		hi := int64(1)<<uint(b) - 1
+		rank := target - (acc - c)
+		v := lo + (hi-lo)*rank/c
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
 	}
 	return h.max
 }
@@ -189,6 +209,15 @@ func (p *PhaseTracker) Cycles() int64 { return p.cycle }
 
 // Windows returns all completed windows.
 func (p *PhaseTracker) Windows() []Window { return p.windows }
+
+// TotalCount returns the lifetime number of cycles spent in state.
+func (p *PhaseTracker) TotalCount(state string) int64 {
+	i, ok := p.index[state]
+	if !ok {
+		return 0
+	}
+	return p.total[i]
+}
 
 // TotalFrac returns the lifetime fraction of cycles spent in state.
 func (p *PhaseTracker) TotalFrac(state string) float64 {

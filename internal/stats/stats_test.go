@@ -49,11 +49,37 @@ func TestHistogramQuantileMonotonic(t *testing.T) {
 	if q50 > q90 || q90 > q99 {
 		t.Fatalf("quantiles not monotonic: %d %d %d", q50, q90, q99)
 	}
-	if q50 < 499 {
-		t.Fatalf("p50 upper bound %d below true median", q50)
+	// With linear interpolation inside the bucket, the estimates must land
+	// near the exact order statistics of the uniform sample (true p50 is
+	// 499, p90 is 899, p99 is 989), not at the bucket's power-of-two upper
+	// bound (which would report 511 / 1023 / 1023).
+	if q50 < 480 || q50 > 520 {
+		t.Fatalf("p50 = %d, want within [480, 520] of true median 499", q50)
+	}
+	if q90 < 870 || q90 > 930 {
+		t.Fatalf("p90 = %d, want within [870, 930] of true p90 899", q90)
+	}
+	if q99 < 960 || q99 > 999 {
+		t.Fatalf("p99 = %d, want within [960, 999] of true p99 989", q99)
+	}
+	if got := h.Quantile(1.0); got != h.Max() {
+		t.Fatalf("p100 = %d, want max %d", got, h.Max())
 	}
 	if h.String() == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+// TestHistogramQuantileClamped pins the interpolation's clamping: a single-
+// value histogram must report that value at every quantile instead of the
+// bucket's upper bound.
+func TestHistogramQuantileClamped(t *testing.T) {
+	var h Histogram
+	h.Add(1000) // bucket [512, 1023]
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %d, want 1000", q, got)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
 )
 
 // Type selects the STBus protocol generation.
@@ -118,6 +119,10 @@ type Node struct {
 	cycles    int64
 	forwarded int64
 	beatsOut  int64
+	// grantStalls counts cycles a target's request channel had a granted
+	// initiator but could not take the transfer because the target's input
+	// FIFO was full — the backpressure signal of the shared request path.
+	grantStalls int64
 }
 
 // NewNode builds an empty node; attach initiators and targets before
@@ -183,6 +188,7 @@ func (n *Node) evalRequestPaths() {
 		ip := n.initiators[init]
 		req := ip.Req.Peek()
 		if !n.targets[t].Req.CanPush() {
+			n.grantStalls++
 			continue // target input FIFO full: no grant this cycle
 		}
 		ip.Req.Pop()
@@ -344,12 +350,46 @@ func (n *Node) retire(init int, id uint64) {
 // Outstanding returns the in-flight count for initiator i (for tests).
 func (n *Node) Outstanding(i int) int { return n.outstanding[i] }
 
+// totalOutstanding sums the in-flight transactions across all initiators —
+// the node's outstanding-occupancy gauge.
+func (n *Node) totalOutstanding() int64 {
+	var t int64
+	for _, o := range n.outstanding {
+		t += int64(o)
+	}
+	return t
+}
+
+// totalReqBusy sums the busy cycles of all request channels.
+func (n *Node) totalReqBusy() int64 {
+	var t int64
+	for i := range n.reqCh {
+		t += n.reqCh[i].busyCycles
+	}
+	return t
+}
+
+// RegisterMetrics registers the node's telemetry under "stbus.<name>.*" on
+// the given clock domain: grant/beat counters, request-channel stall cycles,
+// aggregate channel busy cycles, and the outstanding-occupancy gauge. All
+// instruments are func-backed reads of counters the node already maintains,
+// so the arbitration hot path is untouched.
+func (n *Node) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "stbus." + n.name + "."
+	m.CounterFunc(p+"grants", func() int64 { return n.forwarded })
+	m.CounterFunc(p+"beats_out", func() int64 { return n.beatsOut })
+	m.CounterFunc(p+"grant_stall_cycles", func() int64 { return n.grantStalls })
+	m.CounterFunc(p+"req_busy_cycles", n.totalReqBusy)
+	m.GaugeFunc(p+"outstanding", clock, n.totalOutstanding)
+}
+
 // Stats reports node activity.
 func (n *Node) Stats() Stats {
 	s := Stats{
-		Cycles:    n.cycles,
-		Forwarded: n.forwarded,
-		BeatsOut:  n.beatsOut,
+		Cycles:      n.cycles,
+		Forwarded:   n.forwarded,
+		BeatsOut:    n.beatsOut,
+		GrantStalls: n.grantStalls,
 	}
 	for i := range n.reqCh {
 		s.ReqChannelBusy = append(s.ReqChannelBusy, n.reqCh[i].busyCycles)
@@ -365,6 +405,7 @@ type Stats struct {
 	Cycles          int64
 	Forwarded       int64
 	BeatsOut        int64
+	GrantStalls     int64
 	ReqChannelBusy  []int64 // per target
 	RespChannelBusy []int64 // per initiator
 }
