@@ -39,9 +39,10 @@ fuzz-short:
 	$(GO) test ./internal/tracecap -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 
 # Perf-trajectory snapshot: benchmarks the simulator and refreshes
-# BENCH_2.json (ns/op, allocs/op, simulated cycles per second, speedup vs
-# the frozen pre-optimization baseline). `make benchquick` is the smoke
-# variant CI runs: every benchmark once, no JSON.
+# BENCH_5.json (ns/op, allocs/op, simulated cycles per second, speedup vs
+# the frozen pre-optimization baseline, instrumentation overhead
+# fractions). `make benchquick` is the smoke variant CI runs: every
+# benchmark once, no JSON.
 bench:
 	$(GO) run ./cmd/bench
 

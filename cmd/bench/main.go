@@ -4,7 +4,7 @@
 // BENCH_<n>.json snapshot next to the previous ones, so the cycles/sec
 // trajectory across PRs lives in the repo itself.
 //
-//	go run ./cmd/bench            # writes BENCH_4.json in the cwd
+//	go run ./cmd/bench            # writes BENCH_5.json in the cwd
 //	go run ./cmd/bench -o out.json
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -70,6 +70,10 @@ type Report struct {
 	// CaptureOverheadFrac is the same ratio for the §12 transaction
 	// recorder (one capture probe per initiator).
 	CaptureOverheadFrac float64 `json:"capture_overhead_frac"`
+	// AttrOverheadFrac is the same ratio for the §14 latency-attribution
+	// layer (phase stamps on every hop of every transaction, no
+	// retention). The attribution acceptance bound is ≤ 3%.
+	AttrOverheadFrac float64 `json:"attr_overhead_frac"`
 }
 
 // referenceBaseline was measured at the seed of this PR (commit 85de9db,
@@ -85,7 +89,7 @@ var referenceBaseline = Baseline{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output file")
+	out := flag.String("o", "BENCH_5.json", "output file")
 	prof := profiling.DefineFlags()
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -200,6 +204,14 @@ func main() {
 				}
 			}
 		}},
+		{"reference_with_attr", func(p *platform.Platform) func(platform.Result) {
+			p.EnableAttribution(0)
+			return func(r platform.Result) {
+				if r.Attribution == nil || r.Attribution.Finished == 0 {
+					fatal("attribution run finished no transactions")
+				}
+			}
+		}},
 	}
 	const phaseRounds = 40
 	entries := make([]Entry, len(bodies))
@@ -284,6 +296,7 @@ func main() {
 	if bare := report.Benchmarks[1]; bare.NsPerOp > 0 {
 		report.MetricsOverheadFrac = (report.Benchmarks[2].NsPerOp - bare.NsPerOp) / bare.NsPerOp
 		report.CaptureOverheadFrac = (report.Benchmarks[3].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+		report.AttrOverheadFrac = (report.Benchmarks[4].NsPerOp - bare.NsPerOp) / bare.NsPerOp
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -296,6 +309,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%  ->  %s\n",
-		report.SpeedupNsPerOp, 100*report.MetricsOverheadFrac, 100*report.CaptureOverheadFrac, *out)
+	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%, attr overhead: %.1f%%  ->  %s\n",
+		report.SpeedupNsPerOp, 100*report.MetricsOverheadFrac, 100*report.CaptureOverheadFrac, 100*report.AttrOverheadFrac, *out)
 }

@@ -24,6 +24,17 @@
 //
 //	mpsocsim -report run.json -chrome-trace trace.json
 //
+// Latency attribution breaks every transaction's end-to-end latency into
+// phase-stamped critical-path segments (initiator queue, arbitration, bus
+// transfer, bridge store & forward, clock-domain crossing, SDRAM row
+// preparation and CAS access, response return): -attr adds the attribution
+// matrix to the JSON report and nested phase sub-slices to the Chrome trace,
+// and -attr-top N prints the N heaviest initiators with their dominant phase
+// to stderr:
+//
+//	mpsocsim -attr -report run.json
+//	mpsocsim -attr-top 5
+//
 // Exit status: 0 on a drained run, 2 when the run deadlocked (the progress
 // watchdog saw no transaction move), 3 when the simulated-time budget ran
 // out first, 1 on usage or I/O errors.
@@ -32,12 +43,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/config"
 	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/platform"
 	"mpsocsim/internal/replay"
+	"mpsocsim/internal/stats"
 	"mpsocsim/internal/trace"
 	"mpsocsim/internal/tracecap"
 )
@@ -69,6 +83,8 @@ func main() {
 	reportFile := flag.String("report", "", "write the JSON run report (full metrics snapshot) to this file")
 	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace-event/Perfetto file to this file")
 	sampleEvery := flag.Int64("sample-every", metrics.DefaultSampleEvery, "gauge sampling window in domain cycles (for -report/-chrome-trace timelines)")
+	attrOn := flag.Bool("attr", false, "enable per-transaction latency attribution (adds the report's attribution section and the Chrome-trace phase sub-slices)")
+	attrTop := flag.Int("attr-top", 0, "print the top-N initiators by attributed latency, with their dominant phase, to stderr (implies -attr)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -163,9 +179,33 @@ func main() {
 		// tracks; the ring storage is preallocated here, before Run.
 		p.EnableTimelines(*sampleEvery, 0)
 	}
+	if *attrTop > 0 {
+		*attrOn = true
+	}
+	if *attrOn {
+		// Retention (the per-transaction phase log behind the Chrome-trace
+		// sub-slices) is only paid for when a trace will be written.
+		retain := 0
+		if *chromeFile != "" {
+			retain = 4096
+		}
+		p.EnableAttribution(retain)
+	}
 	r := p.Run(int64(*budgetMS * 1e9))
 	if err := r.WriteSummary(os.Stdout); err != nil {
 		fatalf("report: %v", err)
+	}
+	if *attrTop > 0 && r.Attribution != nil {
+		if err := writeAttrTop(os.Stderr, r.Attribution, *attrTop); err != nil {
+			fatalf("attr-top: %v", err)
+		}
+	}
+	for _, s := range p.Samplers() {
+		if d := s.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"mpsocsim: warning: %s timeline ring overflowed, %d oldest samples dropped — raise -sample-every to keep the whole run\n",
+				s.Clock(), d)
+		}
 	}
 	if sampler != nil && *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -218,7 +258,7 @@ func main() {
 			fatalf("chrome-trace: %v", err)
 		}
 		defer f.Close()
-		if err := metrics.WriteChromeTrace(f, capture.Trace(), r.Metrics); err != nil {
+		if err := metrics.WriteChromeTrace(f, capture.Trace(), r.Metrics, p.Attribution()); err != nil {
 			fatalf("chrome-trace: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (load in ui.perfetto.dev)\n", *chromeFile)
@@ -235,6 +275,51 @@ func main() {
 			*budgetMS, r.Issued, r.Completed)
 		os.Exit(exitOverBudget)
 	}
+}
+
+// writeAttrTop renders the -attr-top bottleneck view: the n heaviest
+// initiators by total attributed latency with their dominant phase, then the
+// full phase breakdown of the heaviest one.
+func writeAttrTop(w io.Writer, snap *attr.Snapshot, n int) error {
+	rows := snap.Dominant()
+	if n < len(rows) {
+		rows = rows[:n]
+	}
+	fmt.Fprintf(w, "latency attribution: %d finished / %d started transactions\n",
+		snap.Finished, snap.Started)
+	tbl := stats.NewTable("initiator", "txns", "total_us", "mean_ns", "p50_ns", "p99_ns", "dominant_phase", "share")
+	for _, is := range rows {
+		share := 0.0
+		for _, ph := range is.Phases {
+			if ph.Phase == is.Dominant {
+				share = ph.Share
+			}
+		}
+		tbl.AddRow(is.Initiator, fmt.Sprint(is.Transactions),
+			fmt.Sprintf("%.1f", float64(is.TotalPS)/1e6),
+			fmt.Sprintf("%.1f", is.MeanPS/1e3),
+			fmt.Sprintf("%.1f", float64(is.P50PS)/1e3),
+			fmt.Sprintf("%.1f", float64(is.P99PS)/1e3),
+			is.Dominant,
+			fmt.Sprintf("%.0f%%", 100*share))
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	top := rows[0]
+	fmt.Fprintf(w, "\nphase breakdown of %s:\n", top.Initiator)
+	ptbl := stats.NewTable("phase", "n", "total_us", "mean_ns", "p99_ns", "share")
+	for _, ph := range top.Phases {
+		ptbl.AddRow(ph.Phase, fmt.Sprint(ph.N),
+			fmt.Sprintf("%.1f", float64(ph.TotalPS)/1e6),
+			fmt.Sprintf("%.1f", ph.MeanPS/1e3),
+			fmt.Sprintf("%.1f", float64(ph.P99PS)/1e3),
+			fmt.Sprintf("%.0f%%", 100*ph.Share))
+	}
+	return ptbl.Write(w)
 }
 
 func fatalf(format string, args ...any) {

@@ -12,6 +12,7 @@
 package ahb
 
 import (
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 )
@@ -43,6 +44,14 @@ type Bus struct {
 	next       *bus.Request
 	nextTarget int
 	rr         int
+
+	// attrCol/attrNow, when set, stamp latency-attribution phases on every
+	// granted request (see EnableAttribution). attrHead caches, per
+	// master port, whether the current committed head already carries a
+	// stamped record (cleared at grant).
+	attrCol  *attr.Collector
+	attrNow  func() int64
+	attrHead []bool
 
 	cycles     int64
 	busyCycles int64
@@ -78,9 +87,40 @@ func (b *Bus) AttachTarget(p *bus.TargetPort) int {
 	return len(b.targets) - 1
 }
 
+// EnableAttribution makes the layer stamp latency-attribution phases:
+// records attach at the head-of-queue scan (PhaseArbWait); on AHB the grant
+// delivers the request to the slave in the same cycle, so PhaseBusXfer is a
+// zero-length marker and the time lands in PhaseTargetQueue. now must return
+// the bus clock's current edge in absolute picoseconds (sim.Clock.NowPS).
+func (b *Bus) EnableAttribution(col *attr.Collector, now func() int64) {
+	b.attrCol = col
+	b.attrNow = now
+}
+
 // Eval advances the bus one cycle.
 func (b *Bus) Eval() {
 	b.cycles++
+	if b.attrCol != nil {
+		// Attach records to requests newly arrived at a master-port head
+		// (entering arb_wait). The bus is the sole consumer of these
+		// FIFOs, so attrHead caches "current head already stamped" per
+		// port: one bool load per attached port and one inlined CanPop
+		// per empty port per cycle; arbitrate clears the flag on grant.
+		if len(b.attrHead) != len(b.initiators) {
+			b.attrHead = make([]bool, len(b.initiators))
+		}
+		var now int64
+		for i, ip := range b.initiators {
+			if b.attrHead[i] || !ip.Req.CanPop() {
+				continue
+			}
+			if now == 0 {
+				now = b.attrNow()
+			}
+			bus.AttachAttr(b.attrCol, ip.Req.Peek(), now)
+			b.attrHead[i] = true
+		}
+	}
 	if b.cur != nil {
 		b.busyCycles++
 		// Pipelined address phase: grant one transaction ahead while
@@ -145,6 +185,18 @@ func (b *Bus) arbitrate() (*bus.Request, int) {
 		ip.Req.Pop()
 		req.Src = i
 		req.Posted = false // AHB writes are implicitly non-posted
+		if b.attrCol != nil {
+			// Attach here as well as at the head scan, so a request
+			// granted the same cycle it became head still gets a record;
+			// the granted port's next head needs a fresh stamp.
+			now := b.attrNow()
+			bus.AttachAttr(b.attrCol, req, now)
+			req.Attr.Enter(attr.PhaseBusXfer, now)
+			req.Attr.Enter(attr.PhaseTargetQueue, now)
+			if i < len(b.attrHead) {
+				b.attrHead[i] = false
+			}
+		}
 		b.targets[t].Req.Push(req)
 		b.rr = (i + 1) % ni
 		b.granted++

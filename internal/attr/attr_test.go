@@ -1,0 +1,235 @@
+package attr
+
+import (
+	"testing"
+)
+
+func TestPhaseNames(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != NumPhases {
+		t.Fatalf("PhaseNames returned %d names, want %d", len(names), NumPhases)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("phase %d has no name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate phase name %q", n)
+		}
+		seen[n] = true
+		if got := Phase(i).String(); got != n {
+			t.Fatalf("Phase(%d).String() = %q, want %q", i, got, n)
+		}
+	}
+	if got := Phase(200).String(); got != "unknown" {
+		t.Fatalf("out-of-range phase name = %q, want unknown", got)
+	}
+}
+
+func TestRecordEnterMergesAndClamps(t *testing.T) {
+	c := NewCollector(4)
+	r := c.Start(0, 1000, false, false)
+	if r.Current() != PhaseInitQueue {
+		t.Fatalf("fresh record in %v, want init_queue", r.Current())
+	}
+
+	// Re-entering the current phase merges (no new segment).
+	r.Enter(PhaseInitQueue, 2000)
+	if phases, _ := r.Segments(); len(phases) != 1 {
+		t.Fatalf("re-entering current phase grew the log to %d segments", len(phases))
+	}
+
+	r.Enter(PhaseArbWait, 3000)
+	// A non-monotonic stamp is clamped to the previous segment's start.
+	r.Enter(PhaseBusXfer, 2500)
+	phases, starts := r.Segments()
+	if len(phases) != 3 {
+		t.Fatalf("segment count = %d, want 3", len(phases))
+	}
+	if starts[2] != 3000 {
+		t.Fatalf("non-monotonic stamp not clamped: starts[2] = %d, want 3000", starts[2])
+	}
+
+	// EnterFrom only fires from the named phase.
+	r.EnterFrom(PhaseArbWait, PhaseTargetQueue, 4000)
+	if r.Current() != PhaseBusXfer {
+		t.Fatalf("EnterFrom fired from the wrong phase: now in %v", r.Current())
+	}
+	r.EnterFrom(PhaseBusXfer, PhaseTargetQueue, 4000)
+	if r.Current() != PhaseTargetQueue {
+		t.Fatalf("EnterFrom did not fire: now in %v", r.Current())
+	}
+}
+
+func TestRecordOverflowFoldsIntoLastSegment(t *testing.T) {
+	c := NewCollector(1)
+	r := c.Start(0, 0, false, false)
+	// Alternate phases until the log is full, then past it.
+	for i := 1; i < MaxSegments+10; i++ {
+		ph := PhaseArbWait
+		if i%2 == 0 {
+			ph = PhaseBusXfer
+		}
+		r.Enter(ph, int64(i*100))
+	}
+	phases, _ := r.Segments()
+	if len(phases) != MaxSegments {
+		t.Fatalf("segment log length = %d, want %d", len(phases), MaxSegments)
+	}
+	if r.overflows == 0 {
+		t.Fatal("overflow transitions not counted")
+	}
+	c.AddInitiator(0, "ip")
+	// Conservation still holds: the overflowed tail folds into the last
+	// segment, so phase totals == end-to-end total.
+	r2 := c.Start(0, 0, false, false)
+	for i := 1; i < MaxSegments+10; i++ {
+		ph := PhaseArbWait
+		if i%2 == 0 {
+			ph = PhaseBusXfer
+		}
+		r2.Enter(ph, int64(i*100))
+	}
+	c.Finish(r2, 5000)
+	snap := c.Snapshot()
+	if snap.OverflowedTxns != 1 {
+		t.Fatalf("overflowed txns = %d, want 1", snap.OverflowedTxns)
+	}
+	is := snap.Initiators[0]
+	var sum int64
+	for _, ph := range is.Phases {
+		sum += ph.TotalPS
+	}
+	if sum != is.TotalPS {
+		t.Fatalf("conservation broken under overflow: phase sum %d != e2e %d", sum, is.TotalPS)
+	}
+}
+
+func TestCollectorConservation(t *testing.T) {
+	c := NewCollector(8)
+	c.AddInitiator(3, "dma")
+	c.AddInitiator(7, "cpu")
+
+	// Two transactions for dma, one for cpu, with revisited phases.
+	r := c.Start(3, 1000, false, false)
+	r.Enter(PhaseArbWait, 1400)
+	r.Enter(PhaseBusXfer, 2000)
+	r.Enter(PhaseTargetQueue, 2600)
+	r.Enter(PhaseRespReturn, 5000)
+	c.Finish(r, 6000)
+
+	r = c.Start(3, 10000, true, false)
+	r.Enter(PhaseArbWait, 10500)
+	r.Enter(PhaseInitQueue, 11000) // second fabric layer
+	r.Enter(PhaseArbWait, 11200)
+	r.Enter(PhaseRespReturn, 12000)
+	c.Finish(r, 13000)
+
+	r = c.Start(7, 0, false, false)
+	c.Finish(r, 250) // whole life in init_queue
+
+	snap := c.Snapshot()
+	if snap.Started != 3 || snap.Finished != 3 {
+		t.Fatalf("started/finished = %d/%d, want 3/3", snap.Started, snap.Finished)
+	}
+	if len(snap.Initiators) != 2 {
+		t.Fatalf("initiator rows = %d, want 2", len(snap.Initiators))
+	}
+	for _, is := range snap.Initiators {
+		var sum int64
+		for _, ph := range is.Phases {
+			sum += ph.TotalPS
+		}
+		if sum != is.TotalPS {
+			t.Errorf("%s: phase totals sum to %d, e2e total %d", is.Initiator, sum, is.TotalPS)
+		}
+	}
+	dma := snap.Initiators[0]
+	if dma.Initiator != "dma" || dma.Transactions != 2 {
+		t.Fatalf("slot 0 = %s/%d txns, want dma/2", dma.Initiator, dma.Transactions)
+	}
+	if dma.TotalPS != (6000-1000)+(13000-10000) {
+		t.Fatalf("dma e2e total = %d, want 8000", dma.TotalPS)
+	}
+	// arb_wait visited twice in txn 2: 10500→11000 and 11200→12000, plus
+	// 1400→2000 in txn 1.
+	for _, ph := range dma.Phases {
+		if ph.Phase == "arb_wait" {
+			if want := int64((11000 - 10500) + (12000 - 11200) + (2000 - 1400)); ph.TotalPS != want {
+				t.Fatalf("dma arb_wait total = %d, want %d", ph.TotalPS, want)
+			}
+		}
+	}
+	if dma.Dominant == "" {
+		t.Fatal("dominant phase not set")
+	}
+}
+
+func TestCollectorUnknownOriginCounted(t *testing.T) {
+	c := NewCollector(2)
+	c.AddInitiator(0, "ip")
+	r := c.Start(42, 100, false, true)
+	c.Finish(r, 300)
+	snap := c.Snapshot()
+	if snap.UnknownOrigin != 1 {
+		t.Fatalf("unknown origin count = %d, want 1", snap.UnknownOrigin)
+	}
+	if snap.Initiators[0].Transactions != 0 {
+		t.Fatal("unknown-origin transaction leaked into a registered row")
+	}
+}
+
+func TestCollectorRecycleAndGrow(t *testing.T) {
+	c := NewCollector(2)
+	c.AddInitiator(0, "ip")
+	// Start/Finish cycles within capacity never grow.
+	for i := 0; i < 100; i++ {
+		r := c.Start(0, int64(i), false, false)
+		c.Finish(r, int64(i+10))
+	}
+	if c.Grown() != 0 {
+		t.Fatalf("grew by %d records despite recycling", c.Grown())
+	}
+	// Holding more records than the capacity grows the free list.
+	held := []*Record{}
+	for i := 0; i < 5; i++ {
+		held = append(held, c.Start(0, 0, false, false))
+	}
+	if c.Grown() == 0 {
+		t.Fatal("over-capacity demand did not grow the free list")
+	}
+	for _, r := range held {
+		c.Finish(r, 100)
+	}
+}
+
+func TestRetentionRing(t *testing.T) {
+	c := NewCollector(4)
+	c.AddInitiator(9, "ip")
+	c.EnableRetention(3)
+	for i := 0; i < 5; i++ {
+		r := c.Start(9, int64(i*1000), false, false)
+		r.Enter(PhaseArbWait, int64(i*1000+200))
+		c.Finish(r, int64(i*1000+500))
+	}
+	txs := c.Retained()
+	if len(txs) != 3 {
+		t.Fatalf("retained %d txns, want 3 (ring capacity)", len(txs))
+	}
+	if c.RetainedDropped() != 2 {
+		t.Fatalf("retained dropped = %d, want 2", c.RetainedDropped())
+	}
+	// Chronological order: the oldest surviving is txn 2.
+	for i, tx := range txs {
+		if want := int64((i + 2) * 1000); tx.StartPS != want {
+			t.Fatalf("retained[%d].StartPS = %d, want %d", i, tx.StartPS, want)
+		}
+		if tx.Origin != 9 || tx.N != 2 {
+			t.Fatalf("retained[%d] = origin %d, %d segments; want 9, 2", i, tx.Origin, tx.N)
+		}
+		if tx.EndPS-tx.StartPS != 500 {
+			t.Fatalf("retained[%d] duration = %d, want 500", i, tx.EndPS-tx.StartPS)
+		}
+	}
+}

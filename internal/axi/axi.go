@@ -19,6 +19,7 @@
 package axi
 
 import (
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 )
@@ -104,6 +105,14 @@ type Interconnect struct {
 	ts []perTarget
 	is []perInitiator
 
+	// attrCol/attrNow, when set, stamp latency-attribution phases on every
+	// request crossing the fabric (see EnableAttribution). attrHead
+	// caches, per initiator port, whether the current committed head
+	// already carries a stamped record (cleared at issue).
+	attrCol  *attr.Collector
+	attrNow  func() int64
+	attrHead []bool
+
 	cycles    int64
 	forwarded int64
 	beatsOut  int64
@@ -140,9 +149,41 @@ func (x *Interconnect) AttachTarget(p *bus.TargetPort) int {
 	return len(x.targets) - 1
 }
 
+// EnableAttribution makes the interconnect stamp latency-attribution
+// phases: records attach at the head-of-queue scan (PhaseArbWait), mark
+// PhaseBusXfer at the AR/AW handshake (covering W-beat streaming and
+// register-stage traversal) and PhaseTargetQueue when the request lands in
+// the slave's input FIFO. now must return the fabric clock's current edge in
+// absolute picoseconds (sim.Clock.NowPS).
+func (x *Interconnect) EnableAttribution(col *attr.Collector, now func() int64) {
+	x.attrCol = col
+	x.attrNow = now
+}
+
 // Eval advances all five channel groups one cycle.
 func (x *Interconnect) Eval() {
 	x.cycles++
+	if x.attrCol != nil {
+		// Attach records to requests newly arrived at a port head
+		// (entering arb_wait). The fabric is the sole consumer of these
+		// FIFOs, so attrHead caches "current head already stamped" per
+		// port: one bool load per attached port and one inlined CanPop
+		// per empty port per cycle; issue() clears the flag on pop.
+		if len(x.attrHead) != len(x.initiators) {
+			x.attrHead = make([]bool, len(x.initiators))
+		}
+		var now int64
+		for i, ip := range x.initiators {
+			if x.attrHead[i] || !ip.Req.CanPop() {
+				continue
+			}
+			if now == 0 {
+				now = x.attrNow()
+			}
+			bus.AttachAttr(x.attrCol, ip.Req.Peek(), now)
+			x.attrHead[i] = true
+		}
+	}
 	if x.cfg.RegisterStages > 0 {
 		x.drainPipes()
 	}
@@ -163,6 +204,9 @@ func (x *Interconnect) drainPipes() {
 	for t := range x.ts {
 		pt := &x.ts[t]
 		if len(pt.reqPipe) > 0 && pt.reqPipe[0].at <= x.cycles && x.targets[t].Req.CanPush() {
+			if rec := pt.reqPipe[0].req.Attr; rec != nil && x.attrNow != nil {
+				rec.Enter(attr.PhaseTargetQueue, x.attrNow())
+			}
 			x.targets[t].Req.Push(pt.reqPipe[0].req)
 			n := copy(pt.reqPipe, pt.reqPipe[1:])
 			pt.reqPipe[n] = pipedReq{}
@@ -198,6 +242,9 @@ func (x *Interconnect) canDeliverReq(t int) bool {
 // deliverReq hands a request toward the slave through the register stages.
 func (x *Interconnect) deliverReq(t int, req *bus.Request) {
 	if x.cfg.RegisterStages == 0 {
+		if rec := req.Attr; rec != nil && x.attrNow != nil {
+			rec.Enter(attr.PhaseTargetQueue, x.attrNow())
+		}
 		x.targets[t].Req.Push(req)
 		return
 	}
@@ -363,6 +410,18 @@ func (x *Interconnect) evalResponses(i int) {
 }
 
 func (x *Interconnect) issue(i int, req *bus.Request) {
+	if x.attrCol != nil {
+		// Attach here as well as at the head scan: the AR and AW channels
+		// can both pop from one port in a single cycle, and the second
+		// request was never at the head when the scan ran. The popped
+		// port's next head needs a fresh stamp.
+		now := x.attrNow()
+		bus.AttachAttr(x.attrCol, req, now)
+		req.Attr.Enter(attr.PhaseBusXfer, now)
+		if i < len(x.attrHead) {
+			x.attrHead[i] = false
+		}
+	}
 	pi := &x.is[i]
 	pi.outst++
 	pi.outTarget = x.amap.Decode(req.Addr)

@@ -18,6 +18,7 @@ package bridge
 import (
 	"fmt"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
@@ -201,6 +202,9 @@ type Bridge struct {
 	pool    *bus.RequestPool
 	ctxFree []*reqCtx
 
+	// attrOn enables latency-attribution phase stamping (EnableAttribution).
+	attrOn bool
+
 	// statistics
 	accepted      int64
 	blockedCycles int64
@@ -242,6 +246,18 @@ func (b *Bridge) Name() string { return b.name }
 // UseRequestPool makes the bridge mint downstream clones from (and retire
 // them into) the given pool. Call before simulation starts.
 func (b *Bridge) UseRequestPool(p *bus.RequestPool) { b.pool = p }
+
+// EnableAttribution makes the bridge stamp latency-attribution phases on
+// crossing transactions: PhaseBridgeSF at acceptance (store-and-forward +
+// conversion), PhaseBridgeCDC entering the clock-domain-crossing FIFO,
+// PhaseBridgeIssue in the downstream latency line and PhaseInitQueue at
+// downstream re-issue (the next fabric layer takes over from there). The
+// record is shared between the upstream request and its downstream clone for
+// reads and posted writes; a non-posted write's clone drops it — the bridge
+// acks the write upstream at acceptance, so the upstream-visible latency is
+// fully attributed and the clone's private downstream journey never touches
+// a record the initiator may already have finished.
+func (b *Bridge) EnableAttribution() { b.attrOn = true }
 
 // TargetPort is the port to attach as a target on the source fabric.
 func (b *Bridge) TargetPort() *bus.TargetPort { return b.tport }
@@ -364,6 +380,9 @@ func (b *Bridge) drainGlobalOrder() {
 			head.finished = true
 			head.complete = true
 			b.residency.Add(b.srcClk.Cycles() - head.acceptCycle)
+			if rec := head.up.Attr; b.attrOn && rec != nil {
+				rec.Enter(attr.PhaseRespReturn, b.srcClk.NowPS())
+			}
 			b.emitQ = append(b.emitQ, bus.Beat{Req: head.up, Idx: 0, Last: true})
 		}
 		if !head.complete {
@@ -418,6 +437,9 @@ func (b *Bridge) drainSrcOrder(src int) {
 			head.ackPending = false
 			head.finished = true
 			b.residency.Add(b.srcClk.Cycles() - head.acceptCycle)
+			if rec := head.up.Attr; b.attrOn && rec != nil {
+				rec.Enter(attr.PhaseRespReturn, b.srcClk.NowPS())
+			}
 			b.emitQ = append(b.emitQ, bus.Beat{Req: head.up, Idx: 0, Last: true})
 		}
 		if !head.finished {
@@ -456,6 +478,9 @@ func (b *Bridge) acceptRequests() {
 		return // store-and-forward buffer full
 	}
 	up := b.tport.Req.Pop()
+	if rec := up.Attr; b.attrOn && rec != nil {
+		rec.Enter(attr.PhaseBridgeSF, b.srcClk.NowPS())
+	}
 	ctx := b.makeCtx(up)
 	ctx.src = up.Src
 	ctx.acceptCycle = b.srcClk.Cycles()
@@ -484,6 +509,9 @@ func (b *Bridge) acceptRequests() {
 			default:
 				ctx.finished = true
 				b.residency.Add(0)
+				if rec := up.Attr; b.attrOn && rec != nil {
+					rec.Enter(attr.PhaseRespReturn, b.srcClk.NowPS())
+				}
 				b.emitQ = append(b.emitQ, bus.Beat{Req: up, Idx: 0, Last: true})
 			}
 		}
@@ -513,6 +541,9 @@ func (b *Bridge) forwardMatured() {
 	n := copy(b.delayLine, b.delayLine[1:])
 	b.delayLine[n] = delayedReq{}
 	b.delayLine = b.delayLine[:n]
+	if rec := head.ctx.down.Attr; b.attrOn && rec != nil {
+		rec.Enter(attr.PhaseBridgeCDC, b.srcClk.NowPS())
+	}
 	b.reqX.Push(head.ctx)
 }
 
@@ -541,6 +572,14 @@ func (b *Bridge) makeCtx(up *bus.Request) *reqCtx {
 	if b.cfg.PreserveMessages {
 		down.MsgSeq = up.MsgSeq
 		down.MsgEnd = up.MsgEnd
+	}
+	if b.attrOn && (up.Op == bus.OpRead || up.Posted) {
+		// The attribution record follows the live copy: reads and posted
+		// writes continue downstream (and finish at the initiator or the
+		// consuming memory); a non-posted write is acked upstream by the
+		// bridge, so its clone must not share a record the initiator may
+		// finish first.
+		down.Attr = up.Attr
 	}
 	ctx := b.getCtx()
 	ctx.up = up
@@ -599,6 +638,9 @@ func (b *Bridge) issueDownstream() {
 	// move one matured crossing entry into the latency line
 	if b.reqX.CanPop() && len(b.held) < b.cfg.ReqDepth {
 		ctx := b.reqX.Pop()
+		if rec := ctx.down.Attr; b.attrOn && rec != nil {
+			rec.Enter(attr.PhaseBridgeIssue, b.dstClk.NowPS())
+		}
 		b.held = append(b.held, heldReq{ctx: ctx, ready: b.dstClk.Cycles() + int64(b.cfg.Latency)})
 	}
 	if len(b.held) == 0 {
@@ -611,6 +653,9 @@ func (b *Bridge) issueDownstream() {
 	n := copy(b.held, b.held[1:])
 	b.held[n] = heldReq{}
 	b.held = b.held[:n]
+	if rec := head.ctx.down.Attr; b.attrOn && rec != nil {
+		rec.Enter(attr.PhaseInitQueue, b.dstClk.NowPS())
+	}
 	b.iport.Req.Push(head.ctx.down)
 	if head.ctx.down.Op == bus.OpWrite && head.ctx.down.Posted {
 		// posted write: nothing will come back; retire now

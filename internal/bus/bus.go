@@ -12,7 +12,11 @@
 // so any component composes with any fabric.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"mpsocsim/internal/attr"
+)
 
 // Op is a transaction opcode.
 type Op uint8
@@ -68,6 +72,15 @@ type Request struct {
 	IssueCycle int64
 	IssuePS    int64
 
+	// Attr, when non-nil, is the transaction's latency-attribution segment
+	// log (internal/attr). Fabrics attach it lazily at the first
+	// head-of-queue scan when attribution is enabled; every later stamping
+	// site guards on nil, so a disabled run costs one pointer check. A
+	// bridge's clone shares the original's record — whichever copy a
+	// component recycles first must clear Attr so the record follows the
+	// live copy.
+	Attr *attr.Record
+
 	// pooled marks a request currently sitting in a RequestPool free list;
 	// it guards against double-Put lifecycle bugs.
 	pooled bool
@@ -79,6 +92,27 @@ func (r *Request) Bytes() int { return r.Beats * r.BytesPerBeat }
 // String formats a compact request description for traces.
 func (r *Request) String() string {
 	return fmt.Sprintf("%s#%d src%d @%#x %dx%dB", r.Op, r.ID, r.Src, r.Addr, r.Beats, r.BytesPerBeat)
+}
+
+// AttachAttr is the fabric-side head-of-queue attribution stamp: it lazily
+// opens the request's attribution record on first contact (recovering the
+// initiator-queue wait retroactively from IssuePS) and marks the transition
+// from queueing to arbitration wait. Fabrics call it for each poppable
+// initiator-port head not yet carrying a record, and again at the grant/pop
+// site as a fallback (idempotent either way). Zero
+// allocations in steady state (records come from the collector free list).
+func AttachAttr(col *attr.Collector, req *Request, nowPS int64) {
+	if req.Attr == nil {
+		issue := req.IssuePS
+		if issue == 0 || issue > nowPS {
+			// Initiators stamp IssuePS at issue; a zero means the request
+			// came from outside the platform wiring (unit tests) — fall
+			// back to first-contact time so durations stay sane.
+			issue = nowPS
+		}
+		req.Attr = col.Start(req.Origin, issue, req.Op == OpWrite, req.Posted)
+	}
+	req.Attr.EnterFrom(attr.PhaseInitQueue, attr.PhaseArbWait, nowPS)
 }
 
 // Beat is one response data beat (for reads) or the write acknowledgement

@@ -3,6 +3,7 @@ package dspcore
 import (
 	"fmt"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
@@ -68,6 +69,10 @@ type Core struct {
 	// return on their final beat; posted writes are reclaimed by the
 	// component that consumes them.
 	pool *bus.RequestPool
+
+	// attrCol, when set, closes each refill's attribution record at
+	// final-beat consumption (see UseAttribution).
+	attrCol *attr.Collector
 
 	// pipeline state
 	fetchDone  bool        // current bundle's fetch completed
@@ -140,6 +145,11 @@ func MustNew(cfg Config, prog Program, clk *sim.Clock, ids *bus.IDSource, origin
 // given pool. Call before simulation starts.
 func (c *Core) UseRequestPool(p *bus.RequestPool) { c.pool = p }
 
+// UseAttribution makes the core finish each refill's latency-attribution
+// record when the final beat arrives (posted writes finish at the consuming
+// memory instead). Call before simulation starts.
+func (c *Core) UseAttribution(col *attr.Collector) { c.attrCol = col }
+
 // Port returns the initiator port to attach to a fabric.
 func (c *Core) Port() *bus.InitiatorPort { return c.port }
 
@@ -193,6 +203,9 @@ func (c *Core) collectRefill() {
 			// The refill we issued is fully delivered: recycle it. Write
 			// acks (un-posted downstream) are left to the GC — the core
 			// cannot prove it still owns them.
+			if rec := beat.Req.Attr; rec != nil && c.attrCol != nil {
+				c.attrCol.Finish(rec, c.clk.NowPS())
+			}
 			c.pool.Put(beat.Req)
 		}
 	}
@@ -341,6 +354,7 @@ func (c *Core) issueRefill(lineAddr uint64, beats int) bool {
 		BytesPerBeat: c.cfg.BytesPerBeat,
 		Prio:         c.cfg.Prio,
 		IssueCycle:   c.clk.Cycles(),
+		IssuePS:      c.clk.NowPS(),
 		MsgEnd:       true,
 	}
 	c.port.Req.Push(req)
@@ -368,6 +382,7 @@ func (c *Core) issueWrite(addr uint64, beats int, posted bool) bool {
 		Prio:         c.cfg.Prio,
 		Posted:       posted,
 		IssueCycle:   c.clk.Cycles(),
+		IssuePS:      c.clk.NowPS(),
 		MsgEnd:       true,
 	}
 	c.port.Req.Push(req)

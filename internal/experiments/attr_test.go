@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAttrComparisonShapeAndRendering(t *testing.T) {
+	r, err := AttrComparison(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(r.Protocols), 3; got != want {
+		t.Fatalf("protocols = %d, want %d", got, want)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no phase rows")
+	}
+	// Conservation survives the aggregation: per protocol, the phase means
+	// sum back to the end-to-end mean (float fold of exact integer totals,
+	// so allow rounding noise only).
+	for i, proto := range r.Protocols {
+		if r.E2E[i] <= 0 {
+			t.Fatalf("%s: non-positive end-to-end mean", proto)
+		}
+		var sum float64
+		for _, row := range r.Rows {
+			sum += row.MeanNS[i]
+		}
+		if math.Abs(sum-r.E2E[i]) > 1e-6*r.E2E[i] {
+			t.Errorf("%s: phase means sum to %.3f ns, end-to-end mean is %.3f ns",
+				proto, sum, r.E2E[i])
+		}
+	}
+	// Shape: the AHB instance replaces the STBus nodes with shared layers
+	// behind blocking bridges, so its mean transaction must be slower than
+	// the reference's.
+	if r.E2E[1] <= r.E2E[0] {
+		t.Errorf("AHB mean %.1f ns should exceed STBus mean %.1f ns", r.E2E[1], r.E2E[0])
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"phase", "STBus_ns", "d_AHB", "d_AXI", "end_to_end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package iptg
 import (
 	"fmt"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sim"
@@ -210,6 +211,10 @@ type Generator struct {
 	// posted writes are reclaimed by the component that consumes them.
 	pool *bus.RequestPool
 
+	// attrCol, when set, closes each tracked transaction's attribution
+	// record at final-beat consumption (see UseAttribution).
+	attrCol *attr.Collector
+
 	issuedTotal    int64
 	completedTotal int64
 }
@@ -251,6 +256,12 @@ func MustNew(cfg Config, clk *sim.Clock, ids *bus.IDSource, origin int) *Generat
 // UseRequestPool makes the generator mint requests from (and return them
 // to) the given pool. Call before simulation starts.
 func (g *Generator) UseRequestPool(p *bus.RequestPool) { g.pool = p }
+
+// UseAttribution makes the generator finish each tracked transaction's
+// latency-attribution record when it consumes the final response beat
+// (posted writes finish at the consuming memory instead). Call before
+// simulation starts.
+func (g *Generator) UseAttribution(col *attr.Collector) { g.attrCol = col }
 
 // Port returns the initiator port to attach to a fabric.
 func (g *Generator) Port() *bus.InitiatorPort { return g.port }
@@ -298,6 +309,9 @@ func (g *Generator) collect() {
 		a.latency.Add(g.clk.Cycles() - beat.Req.IssueCycle)
 		if pr := g.port.Probe; pr != nil {
 			pr.RequestCompleted(beat.Req, g.clk.Cycles())
+		}
+		if rec := beat.Req.Attr; rec != nil && g.attrCol != nil {
+			g.attrCol.Finish(rec, g.clk.NowPS())
 		}
 		// The transaction was tracked, so this request is ours and this
 		// beat is its final reference: recycle it.
@@ -360,6 +374,7 @@ func (g *Generator) issueFrom(a *agent) {
 		BytesPerBeat: g.cfg.BytesPerBeat,
 		Prio:         a.cfg.Prio,
 		IssueCycle:   g.clk.Cycles(),
+		IssuePS:      g.clk.NowPS(),
 		MsgEnd:       true,
 	}
 	if !isRead {

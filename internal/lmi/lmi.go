@@ -16,6 +16,7 @@
 package lmi
 
 import (
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/sdram"
@@ -140,6 +141,11 @@ type Controller struct {
 	// outside platform builds).
 	pool *bus.RequestPool
 
+	// attrCol/attrNow, when set, stamp the memory-side attribution phases
+	// and close posted-write records (see EnableAttribution).
+	attrCol *attr.Collector
+	attrNow func() int64
+
 	// statistics
 	served       int64
 	reads        int64
@@ -169,6 +175,22 @@ func New(name string, cfg Config) *Controller {
 // UseRequestPool makes the controller reclaim consumed posted writes into
 // the given pool. Call before simulation starts.
 func (c *Controller) UseRequestPool(p *bus.RequestPool) { c.pool = p }
+
+// EnableAttribution makes the controller stamp latency-attribution phases:
+// PhaseLMIFront when the optimization engine pops a request from the input
+// FIFO (front pipeline latency + command overhead), PhaseSDRAMRowPrep while
+// precharge/activate commands prepare the row on a miss, PhaseSDRAMCas from
+// row-ready to the column access (command legality and data-bus occupancy —
+// where bank conflicts show up), PhaseLMIBack from access to the first
+// response beat (device data delay + back latency + output-FIFO
+// backpressure) and PhaseRespReturn from the first beat on. A posted write's
+// record is finished here — the transaction's life ends at consumption. now
+// must return the controller clock's current edge in absolute picoseconds
+// (sim.Clock.NowPS).
+func (c *Controller) EnableAttribution(col *attr.Collector, now func() int64) {
+	c.attrCol = col
+	c.attrNow = now
+}
 
 // Port returns the bus-facing target port.
 func (c *Controller) Port() *bus.TargetPort { return c.port }
@@ -215,6 +237,11 @@ func (c *Controller) emitBeats() {
 	s := &c.streams[0]
 	if c.now < s.nextAt || !c.port.Resp.CanPush() {
 		return
+	}
+	if s.emitted == 0 {
+		if rec := s.req.Attr; rec != nil && c.attrNow != nil {
+			rec.Enter(attr.PhaseRespReturn, c.attrNow())
+		}
 	}
 	if s.isAck {
 		c.port.Resp.Push(bus.Beat{Req: s.req, Idx: 0, Last: true})
@@ -297,6 +324,9 @@ func (c *Controller) selectNext() {
 		c.dev.NoteRowHit()
 	}
 	c.cur = c.port.Req.RemoveAt(pick)
+	if rec := c.cur.Attr; rec != nil && c.attrNow != nil {
+		rec.Enter(attr.PhaseLMIFront, c.attrNow())
+	}
 	c.phase = phasePrep
 	// front-end pipeline latency plus per-transaction command overhead
 	// (waived when merging with the previous access run).
@@ -351,12 +381,22 @@ func (c *Controller) advanceCommands() {
 	}
 	req := c.cur
 	bankIdx := c.dev.BankOf(req.Addr)
+	rec := req.Attr
+	if rec != nil && c.attrNow == nil {
+		rec = nil
+	}
 	switch c.phase {
 	case phasePrep:
 		if c.dev.IsRowHit(req.Addr) {
 			c.phase = phaseAccess
+			if rec != nil {
+				rec.Enter(attr.PhaseSDRAMCas, c.attrNow())
+			}
 			c.advanceAccess(req)
 			return
+		}
+		if rec != nil {
+			rec.Enter(attr.PhaseSDRAMRowPrep, c.attrNow())
 		}
 		if c.dev.OpenRow(bankIdx) != -1 {
 			if c.dev.CanPrecharge(bankIdx, c.now) {
@@ -367,6 +407,9 @@ func (c *Controller) advanceCommands() {
 		if c.dev.CanActivate(bankIdx, c.now) {
 			c.dev.Activate(bankIdx, c.dev.RowOf(req.Addr), c.now)
 			c.phase = phaseAccess
+			if rec != nil {
+				rec.Enter(attr.PhaseSDRAMCas, c.attrNow())
+			}
 		}
 	case phaseAccess:
 		c.advanceAccess(req)
@@ -388,6 +431,9 @@ func (c *Controller) advanceAccess(req *bus.Request) {
 	firstData, busCycles := c.dev.Access(req.Addr, cols, req.Op == bus.OpWrite, c.now)
 	c.lastRowKey = c.rowKey(req)
 	c.served++
+	if rec := req.Attr; rec != nil && c.attrNow != nil && !(req.Op == bus.OpWrite && req.Posted) {
+		rec.Enter(attr.PhaseLMIBack, c.attrNow())
+	}
 	switch {
 	case req.Op == bus.OpRead:
 		first := firstData + int64(c.cfg.BackLatency)
@@ -395,7 +441,10 @@ func (c *Controller) advanceAccess(req *bus.Request) {
 		c.streams = append(c.streams, stream{req: req, beats: req.Beats, nextAt: first})
 	case req.Posted:
 		// no response: the posted write's life ends here, so the
-		// controller owns its reclamation
+		// controller owns its reclamation (and its attribution record).
+		if rec := req.Attr; rec != nil && c.attrCol != nil {
+			c.attrCol.Finish(rec, c.attrNow())
+		}
 		c.pool.Put(req)
 	default:
 		ackAt := firstData + busCycles + int64(c.cfg.BackLatency)

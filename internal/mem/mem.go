@@ -8,6 +8,7 @@ package mem
 import (
 	"fmt"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 )
@@ -45,6 +46,11 @@ type Memory struct {
 	// outside platform builds).
 	pool *bus.RequestPool
 
+	// attrCol/attrNow, when set, stamp the memory-side attribution phases
+	// and close posted-write records (see EnableAttribution).
+	attrCol *attr.Collector
+	attrNow func() int64
+
 	// statistics
 	reads, writes   int64
 	beats           int64
@@ -76,6 +82,17 @@ func New(name string, cfg Config) *Memory {
 // given pool. Call before simulation starts.
 func (m *Memory) UseRequestPool(p *bus.RequestPool) { m.pool = p }
 
+// EnableAttribution makes the memory stamp latency-attribution phases:
+// PhaseMemService when a request is popped for service (wait states and beat
+// absorption) and PhaseRespReturn at the first response beat or write ack. A
+// posted write's record is finished here — the transaction's life ends at
+// absorption. now must return the memory clock's current edge in absolute
+// picoseconds (sim.Clock.NowPS).
+func (m *Memory) EnableAttribution(col *attr.Collector, now func() int64) {
+	m.attrCol = col
+	m.attrNow = now
+}
+
 // Port returns the target port a fabric attaches to.
 func (m *Memory) Port() *bus.TargetPort { return m.port }
 
@@ -88,6 +105,9 @@ func (m *Memory) Eval() {
 	if m.cur == nil {
 		if m.port.Req.CanPop() {
 			m.cur = m.port.Req.Pop()
+			if rec := m.cur.Attr; rec != nil && m.attrNow != nil {
+				rec.Enter(attr.PhaseMemService, m.attrNow())
+			}
 			m.beatIdx = 0
 			m.waitLeft = m.cfg.WaitStates
 			if m.cur.Op == bus.OpRead {
@@ -111,6 +131,11 @@ func (m *Memory) Eval() {
 			return
 		}
 		last := m.beatIdx == m.cur.Beats-1
+		if m.beatIdx == 0 {
+			if rec := m.cur.Attr; rec != nil && m.attrNow != nil {
+				rec.Enter(attr.PhaseRespReturn, m.attrNow())
+			}
+		}
 		m.port.Resp.Push(bus.Beat{Req: m.cur, Idx: m.beatIdx, Last: last})
 		m.beats++
 		m.beatIdx++
@@ -128,7 +153,11 @@ func (m *Memory) Eval() {
 			if m.cur.Posted {
 				m.acceptedPosted++
 				// A posted write has no response: this is the end of
-				// its life, so the memory owns its reclamation.
+				// its life, so the memory owns its reclamation (and its
+				// attribution record).
+				if rec := m.cur.Attr; rec != nil && m.attrCol != nil {
+					m.attrCol.Finish(rec, m.attrNow())
+				}
 				m.pool.Put(m.cur)
 				m.cur = nil
 				return
@@ -138,6 +167,9 @@ func (m *Memory) Eval() {
 				m.beatIdx-- // retry ack next cycle
 				m.beats--
 				return
+			}
+			if rec := m.cur.Attr; rec != nil && m.attrNow != nil {
+				rec.Enter(attr.PhaseRespReturn, m.attrNow())
 			}
 			m.port.Resp.Push(bus.Beat{Req: m.cur, Idx: 0, Last: true})
 			m.cur = nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/tracecap"
 )
@@ -42,12 +43,20 @@ type chromeEvent struct {
 // psToUS converts picoseconds to the trace format's microseconds.
 func psToUS(ps int64) float64 { return float64(ps) / 1e6 }
 
-// WriteChromeTrace renders tr and snap into Chrome trace-event JSON. Either
+// WriteChromeTrace renders tr and snap into Chrome trace-event JSON. Any
 // argument may be nil: a nil trace omits the lifecycle slices, a nil
-// snapshot (or one without timelines) omits the counter tracks. Events are
-// emitted sorted by timestamp (metadata first), which both viewers accept
-// and which makes the output deterministic and easy to assert on.
-func WriteChromeTrace(w io.Writer, tr *tracecap.Trace, snap *Snapshot) error {
+// snapshot (or one without timelines) omits the counter tracks, and a nil
+// attribution collector omits the phase sub-slices. Events are emitted
+// sorted by timestamp (metadata first), which both viewers accept and which
+// makes the output deterministic and easy to assert on.
+//
+// When att carries retained transactions (attr.Collector.EnableRetention),
+// each one is matched to its capture lifecycle slice — same initiator name,
+// same issue cycle — and rendered as nested "X" sub-slices, one per
+// attribution phase, exactly tiling the parent: a per-transaction waterfall
+// of where the latency went. Retained transactions without a capture stream
+// (e.g. the DSP core, which is not captured) are skipped.
+func WriteChromeTrace(w io.Writer, tr *tracecap.Trace, snap *Snapshot, att *attr.Collector) error {
 	var events []chromeEvent
 	meta := func(pid, tid int, kind, name string) {
 		events = append(events, chromeEvent{
@@ -58,11 +67,35 @@ func WriteChromeTrace(w io.Writer, tr *tracecap.Trace, snap *Snapshot) error {
 	meta(chromePidInitiators, 0, "process_name", "initiators")
 	meta(chromePidCounters, 0, "process_name", "metrics")
 
+	// Index the retained attribution records by initiator name; each stream
+	// below re-indexes its slice by issue cycle (the record's start is the
+	// edge after the issue cycle, so StartPS/period-1 recovers the cycle the
+	// capture stamped).
+	var retByName map[string][]*attr.RetainedTx
+	if att != nil {
+		txs := att.Retained()
+		if len(txs) > 0 {
+			retByName = make(map[string][]*attr.RetainedTx)
+			for i := range txs {
+				tx := &txs[i]
+				name := att.InitiatorName(tx.Origin)
+				retByName[name] = append(retByName[name], tx)
+			}
+		}
+	}
+
 	var body []chromeEvent
 	if tr != nil {
 		for i, s := range tr.Streams {
 			tid := i + 1
 			meta(chromePidInitiators, tid, "thread_name", s.Name)
+			var retByCycle map[int64]*attr.RetainedTx
+			if list := retByName[s.Name]; len(list) > 0 && s.PeriodPS > 0 {
+				retByCycle = make(map[int64]*attr.RetainedTx, len(list))
+				for _, tx := range list {
+					retByCycle[tx.StartPS/s.PeriodPS-1] = tx
+				}
+			}
 			for j := range s.Events {
 				ev := &s.Events[j]
 				lat := ev.Latency
@@ -76,10 +109,11 @@ func WriteChromeTrace(w io.Writer, tr *tracecap.Trace, snap *Snapshot) error {
 						name = "posted-write"
 					}
 				}
+				parentTS := ev.IssueCycle * s.PeriodPS
 				body = append(body, chromeEvent{
 					Name: name,
 					Ph:   "X",
-					Ts:   psToUS(ev.IssueCycle * s.PeriodPS),
+					Ts:   psToUS(parentTS),
 					Dur:  psToUS(lat * s.PeriodPS),
 					Pid:  chromePidInitiators,
 					Tid:  tid,
@@ -89,6 +123,35 @@ func WriteChromeTrace(w io.Writer, tr *tracecap.Trace, snap *Snapshot) error {
 						"prio":  ev.Prio,
 					},
 				})
+				tx := retByCycle[ev.IssueCycle]
+				if tx == nil || lat <= 0 {
+					continue
+				}
+				// Phase sub-slices, shifted so the first starts exactly at
+				// the parent's Ts (the record's axis begins one initiator
+				// period after the issue cycle's timestamp); the segments
+				// telescope, so they tile the parent without gaps. The
+				// stable sort below keeps the parent (appended first) ahead
+				// of its equal-Ts first child, which the viewers require
+				// for nesting.
+				for k := 0; k < tx.N; k++ {
+					segStart := tx.Starts[k]
+					segEnd := tx.EndPS
+					if k+1 < tx.N {
+						segEnd = tx.Starts[k+1]
+					}
+					if segEnd <= segStart {
+						continue
+					}
+					body = append(body, chromeEvent{
+						Name: tx.Phases[k].String(),
+						Ph:   "X",
+						Ts:   psToUS(parentTS + (segStart - tx.StartPS)),
+						Dur:  psToUS(segEnd - segStart),
+						Pid:  chromePidInitiators,
+						Tid:  tid,
+					})
+				}
 			}
 		}
 	}

@@ -40,7 +40,7 @@ func TestWriteChromeTraceShape(t *testing.T) {
 	snap := r.Snapshot()
 
 	var buf bytes.Buffer
-	if err := WriteChromeTrace(&buf, buildTestTrace(), snap); err != nil {
+	if err := WriteChromeTrace(&buf, buildTestTrace(), snap, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -125,7 +125,7 @@ func TestWriteChromeTraceShape(t *testing.T) {
 
 func TestWriteChromeTraceNilInputs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+	if err := WriteChromeTrace(&buf, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc map[string]any

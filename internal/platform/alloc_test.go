@@ -86,6 +86,34 @@ func TestZeroAllocSteadyStateWithMetrics(t *testing.T) {
 	}
 }
 
+// TestZeroAllocSteadyStateWithAttribution re-proves the invariant with
+// latency attribution enabled: records come from the collector's
+// preallocated free list, every stamp writes into fixed-size segment arrays,
+// and Finish folds durations into preallocated histograms, so the full
+// phase-stamped breakdown costs no allocations per cycle either.
+func TestZeroAllocSteadyStateWithAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	spec := DefaultSpec()
+	p := MustBuild(spec)
+	col := p.EnableAttribution(0)
+	p.Kernel.RunCycles(p.CentralClk, 5000)
+
+	allocs := testing.AllocsPerRun(2000, func() {
+		p.Kernel.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step with attribution allocates: %.2f allocs/step (want 0)", allocs)
+	}
+	if col.Finished() == 0 {
+		t.Fatal("attribution recorded nothing")
+	}
+	if col.Grown() != 0 {
+		t.Fatalf("record free list grew by %d in steady state (leaking records?)", col.Grown())
+	}
+}
+
 // TestZeroAllocSteadyStateSingleLayer covers the single-clock kernel fast
 // path with the §4.1 testbench.
 func TestZeroAllocSteadyStateSingleLayer(t *testing.T) {

@@ -1,0 +1,195 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsocsim/internal/attr"
+	"mpsocsim/internal/tracecap"
+)
+
+// runWithAttribution builds the spec with attribution (full retention) and
+// capture enabled, runs it to drain, and returns the platform, the result
+// and the capture.
+func runWithAttribution(t *testing.T, spec Spec) (*Platform, Result, *tracecap.Capture) {
+	t.Helper()
+	p := MustBuild(spec)
+	c := tracecap.NewCapture(spec.Name(), 0)
+	p.AttachCapture(c)
+	p.EnableAttribution(1 << 16)
+	r := p.Run(500e9)
+	if !r.Done {
+		t.Fatalf("run did not drain (stalled=%v)", r.Stalled)
+	}
+	return p, r, c
+}
+
+// testAttributionConservation proves the tentpole invariant on a full
+// platform run: per-transaction segment logs are monotonic and bounded by
+// [StartPS, EndPS]; the per-initiator phase totals sum exactly to the
+// end-to-end totals; and each tracked transaction's attributed end-to-end
+// time equals the capture-measured latency to the picosecond.
+func testAttributionConservation(t *testing.T, spec Spec) {
+	t.Helper()
+	p, r, c := runWithAttribution(t, spec)
+	col := p.Attribution()
+	snap := r.Attribution
+	if snap == nil {
+		t.Fatal("result carries no attribution snapshot")
+	}
+	if snap.Finished == 0 {
+		t.Fatal("no transactions finished with attribution")
+	}
+
+	// Matrix-level conservation: for every initiator the per-phase totals
+	// telescope to the end-to-end total exactly (stats.Histogram sums are
+	// exact integers, so this is an equality, not a tolerance).
+	for _, is := range snap.Initiators {
+		if is.Transactions == 0 {
+			t.Errorf("%s: no attributed transactions", is.Initiator)
+			continue
+		}
+		var sum int64
+		for _, ph := range is.Phases {
+			sum += ph.TotalPS
+		}
+		if sum != is.TotalPS {
+			t.Errorf("%s: phase totals sum to %d ps, end-to-end total is %d ps",
+				is.Initiator, sum, is.TotalPS)
+		}
+	}
+
+	// Per-transaction invariants on the verbatim retained logs.
+	txs := col.Retained()
+	if len(txs) == 0 {
+		t.Fatal("retention ring is empty")
+	}
+	if col.RetainedDropped() > 0 {
+		t.Fatalf("retention ring overflowed (%d dropped): the test needs every transaction", col.RetainedDropped())
+	}
+	for i, tx := range txs {
+		if tx.N < 1 {
+			t.Fatalf("retained[%d]: empty segment log", i)
+		}
+		if tx.Phases[0] != attr.PhaseInitQueue {
+			t.Fatalf("retained[%d]: first phase %v, want init_queue", i, tx.Phases[0])
+		}
+		last := tx.StartPS
+		for k := 0; k < tx.N; k++ {
+			if tx.Starts[k] < last {
+				t.Fatalf("retained[%d]: segment %d starts at %d ps, before %d", i, k, tx.Starts[k], last)
+			}
+			last = tx.Starts[k]
+		}
+		if tx.EndPS < last {
+			t.Fatalf("retained[%d]: ends at %d ps, before last segment start %d", i, tx.EndPS, last)
+		}
+	}
+
+	// Cross-check against the independent capture measurement: a tracked
+	// transaction's attributed end-to-end time must equal its recorded
+	// completion latency converted through the initiator's clock period.
+	byName := map[string][]attrTxKey{}
+	for _, tx := range txs {
+		name := col.InitiatorName(tx.Origin)
+		byName[name] = append(byName[name], attrTxKey{tx.StartPS, tx.EndPS})
+	}
+	matched := 0
+	for _, s := range c.Trace().Streams {
+		index := map[int64]int64{} // StartPS → EndPS
+		for _, k := range byName[s.Name] {
+			index[k.startPS] = k.endPS
+		}
+		for j := range s.Events {
+			ev := &s.Events[j]
+			if ev.Latency < 0 || ev.Posted {
+				continue // completed elsewhere (posted) or still in flight
+			}
+			startPS := (ev.IssueCycle + 1) * s.PeriodPS
+			endPS, ok := index[startPS]
+			if !ok {
+				t.Fatalf("%s: no attribution record for transaction issued at cycle %d", s.Name, ev.IssueCycle)
+			}
+			if got, want := endPS-startPS, ev.Latency*s.PeriodPS; got != want {
+				t.Fatalf("%s@%d: attributed end-to-end %d ps, capture latency %d ps",
+					s.Name, ev.IssueCycle, got, want)
+			}
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("cross-check matched no transactions")
+	}
+}
+
+type attrTxKey struct{ startPS, endPS int64 }
+
+func TestAttributionConservation(t *testing.T) {
+	for _, proto := range []Protocol{STBus, AHB, AXI} {
+		t.Run(proto.String(), func(t *testing.T) {
+			spec := DefaultSpec()
+			spec.Protocol = proto
+			spec.WorkloadScale = 0.5
+			testAttributionConservation(t, spec)
+		})
+	}
+}
+
+func TestAttributionConservationOnChip(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Memory = OnChip
+	spec.WorkloadScale = 0.5
+	testAttributionConservation(t, spec)
+}
+
+// TestAttributionOffIsBitIdentical proves attribution is a pure observer:
+// the same spec run with and without attribution produces byte-identical
+// capture traces (same issue cycles, same latencies, transaction by
+// transaction).
+func TestAttributionOffIsBitIdentical(t *testing.T) {
+	spec := DefaultSpec()
+	spec.WorkloadScale = 0.3
+
+	run := func(withAttr bool) *tracecap.Trace {
+		p := MustBuild(spec)
+		c := tracecap.NewCapture(spec.Name(), 0)
+		p.AttachCapture(c)
+		if withAttr {
+			p.EnableAttribution(0)
+		}
+		if r := p.Run(500e9); !r.Done {
+			t.Fatalf("run (attr=%v) did not drain", withAttr)
+		}
+		return c.Trace()
+	}
+	base, attributed := run(false), run(true)
+	if len(base.Streams) != len(attributed.Streams) {
+		t.Fatalf("stream count changed: %d vs %d", len(base.Streams), len(attributed.Streams))
+	}
+	for i, bs := range base.Streams {
+		as := attributed.Streams[i]
+		if bs.Name != as.Name {
+			t.Fatalf("stream %d renamed: %q vs %q", i, bs.Name, as.Name)
+		}
+		if fmt.Sprint(bs.Events) != fmt.Sprint(as.Events) {
+			t.Fatalf("attribution perturbed the simulated traffic of %q", bs.Name)
+		}
+	}
+}
+
+// TestAttributionDSPRow checks the DSP core's refills land in their own
+// attribution row even though the core is not a captured initiator.
+func TestAttributionDSPRow(t *testing.T) {
+	spec := DefaultSpec()
+	spec.WorkloadScale = 0.3
+	_, r, _ := runWithAttribution(t, spec)
+	for _, is := range r.Attribution.Initiators {
+		if is.Initiator == "st220" {
+			if is.Transactions == 0 {
+				t.Fatal("DSP row has no attributed transactions")
+			}
+			return
+		}
+	}
+	t.Fatal("no attribution row for the DSP core")
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mpsocsim/internal/ahb"
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/axi"
 	"mpsocsim/internal/bridge"
 	"mpsocsim/internal/bus"
@@ -42,8 +43,13 @@ type Initiator interface {
 	Completed() int64
 	Stats() []iptg.AgentStats
 	UseRequestPool(*bus.RequestPool)
+	UseAttribution(*attr.Collector)
 	RegisterMetrics(*metrics.Registry, string)
 }
+
+// dspOrigin is the platform-wide initiator identity of the DSP core, chosen
+// far above the traffic-generator origins (0..n-1).
+const dspOrigin = 1000
 
 // Platform is a fully assembled instance ready to Run.
 type Platform struct {
@@ -72,6 +78,10 @@ type Platform struct {
 	// build order, for metric registration.
 	fabrics  []fabricEntry
 	samplers []*metrics.Sampler
+
+	// attrCol is the latency-attribution collector, nil until
+	// EnableAttribution is called.
+	attrCol *attr.Collector
 
 	ids  bus.IDSource
 	pool bus.RequestPool
@@ -200,6 +210,78 @@ func (p *Platform) EnableTimelines(every int64, capSamples int) {
 		}
 	}})
 }
+
+// attributable is the attribution-enable surface every concrete fabric
+// (stbus.Node, ahb.Bus, axi.Bus) provides: the shared collector plus a
+// closure returning the fabric's own clock edge in absolute picoseconds.
+type attributable interface {
+	EnableAttribution(*attr.Collector, func() int64)
+}
+
+// EnableAttribution builds the platform-wide latency-attribution collector
+// and hands it to every component that stamps or closes phase records: the
+// fabrics (arbitration/transfer/target-queue phases), the bridges (store &
+// forward, CDC, downstream issue), the memory subsystem (service and SDRAM
+// phases, posted-write completion) and the initiators (record completion at
+// the final response beat). Each component stamps with its *own* clock's
+// NowPS, so segments share one monotonic picosecond axis across domains.
+//
+// Call after Build and before Run — the collector's record storage is
+// preallocated, so the steady-state zero-allocation invariant holds with
+// attribution enabled. retain > 0 additionally keeps the last retain
+// finished transactions verbatim for per-transaction export (Chrome-trace
+// phase sub-slices). Calling it twice is a no-op returning the existing
+// collector.
+func (p *Platform) EnableAttribution(retain int) *attr.Collector {
+	if p.attrCol != nil {
+		return p.attrCol
+	}
+	col := attr.NewCollector(0)
+	for _, g := range p.gens {
+		col.AddInitiator(g.Origin(), g.Name())
+	}
+	if p.core != nil {
+		col.AddInitiator(dspOrigin, p.core.Name())
+	}
+	if retain > 0 {
+		col.EnableRetention(retain)
+	}
+	clocks := map[string]*sim.Clock{}
+	for _, clk := range p.Kernel.Clocks() {
+		clocks[clk.Name()] = clk
+	}
+	for _, fe := range p.fabrics {
+		clk := clocks[fe.clock]
+		if a, ok := fe.fab.(attributable); ok && clk != nil {
+			a.EnableAttribution(col, clk.NowPS)
+		}
+	}
+	for _, br := range p.bridges {
+		br.EnableAttribution()
+	}
+	if p.onchip != nil {
+		p.onchip.EnableAttribution(col, p.CentralClk.NowPS)
+	}
+	if p.ctrl != nil {
+		p.ctrl.EnableAttribution(col, p.CentralClk.NowPS)
+	}
+	for _, g := range p.gens {
+		g.UseAttribution(col)
+	}
+	if p.core != nil {
+		p.core.UseAttribution(col)
+	}
+	p.attrCol = col
+	return col
+}
+
+// Attribution returns the latency-attribution collector (nil unless
+// EnableAttribution was called).
+func (p *Platform) Attribution() *attr.Collector { return p.attrCol }
+
+// Samplers returns the per-domain gauge samplers (empty unless
+// EnableTimelines was called).
+func (p *Platform) Samplers() []*metrics.Sampler { return p.samplers }
 
 // wirePool hands every component the platform-wide request pool so steady
 // state mints no new bus.Request values. A platform is stepped from a single
@@ -433,7 +515,7 @@ func (p *Platform) buildDSP() {
 	if p.Spec.DSPDCacheKB > 0 {
 		coreCfg.DCache.SizeBytes = p.Spec.DSPDCacheKB << 10
 	}
-	p.core = dspcore.MustNew(coreCfg, prog, p.CPUClk, &p.ids, 1000)
+	p.core = dspcore.MustNew(coreCfg, prog, p.CPUClk, &p.ids, dspOrigin)
 
 	var convCfg bridge.Config
 	if p.Spec.Protocol == STBus {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bridge"
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/lmi"
@@ -14,7 +15,11 @@ import (
 // it before interpreting the rest of the document. The version is bumped
 // when a field changes meaning or disappears; purely additive changes keep
 // it.
-const ReportSchema = "mpsocsim.report/1"
+//
+// /2 added the optional "attribution" section (per-initiator × per-phase
+// latency breakdown) and the timeline "dropped" counters; every /1 field is
+// unchanged.
+const ReportSchema = "mpsocsim.report/2"
 
 // SpecReport is the JSON-stable description of the run's configuration: the
 // knobs that determine the run, flattened to plain values. A replay spec is
@@ -74,6 +79,9 @@ type Report struct {
 	IPs            map[string][]iptg.AgentStats `json:"ips"`
 	Bridges        map[string]bridge.Stats      `json:"bridges,omitempty"`
 	Metrics        *metrics.Snapshot            `json:"metrics,omitempty"`
+	// Attribution is the per-initiator × per-phase latency breakdown,
+	// present when the run was executed with attribution enabled.
+	Attribution *attr.Snapshot `json:"attribution,omitempty"`
 }
 
 // Report assembles the schema-versioned run report from the result.
@@ -122,6 +130,7 @@ func (r Result) Report() Report {
 		IPs:            r.IPs,
 		Bridges:        r.Bridges,
 		Metrics:        r.Metrics,
+		Attribution:    r.Attribution,
 	}
 	if r.Spec.Memory == LMIDDR {
 		l := r.LMI

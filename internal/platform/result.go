@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bridge"
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/lmi"
@@ -51,6 +52,9 @@ type Result struct {
 	// taken when the run finished. The text summary and the JSON report
 	// render from it; it stays valid after the platform is gone.
 	Metrics *metrics.Snapshot
+	// Attribution is the per-initiator × per-phase latency breakdown (nil
+	// unless EnableAttribution was called before the run).
+	Attribution *attr.Snapshot
 }
 
 // Run executes the platform until the workload drains, maxPS of simulated
@@ -143,6 +147,9 @@ func (p *Platform) collect(done bool) Result {
 	}
 	if p.Metrics != nil {
 		r.Metrics = p.Metrics.Snapshot()
+	}
+	if p.attrCol != nil {
+		r.Attribution = p.attrCol.Snapshot()
 	}
 	return r
 }

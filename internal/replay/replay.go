@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/metrics"
@@ -103,7 +104,10 @@ type Initiator struct {
 	// even for posted writes the target already consumed (and reclaimed);
 	// like iptg.Generator, the replayer must ignore beats for requests it
 	// is not tracking, or it would double-complete and double-recycle.
-	byReqID   map[uint64]struct{}
+	byReqID map[uint64]struct{}
+	// attrCol, when set, closes each tracked transaction's attribution
+	// record at final-beat consumption (see UseAttribution).
+	attrCol   *attr.Collector
 	next      int
 	inFlight  int
 	issued    int64
@@ -165,6 +169,12 @@ func MustNew(cfg Config, clk *sim.Clock, ids *bus.IDSource, origin int) *Initiat
 // the given pool. Call before simulation starts.
 func (in *Initiator) UseRequestPool(p *bus.RequestPool) { in.pool = p }
 
+// UseAttribution makes the replayer finish each tracked transaction's
+// latency-attribution record when it consumes the final response beat
+// (posted writes finish at the consuming memory instead). Call before
+// simulation starts.
+func (in *Initiator) UseAttribution(col *attr.Collector) { in.attrCol = col }
+
 // Port returns the initiator port to attach to a fabric.
 func (in *Initiator) Port() *bus.InitiatorPort { return in.port }
 
@@ -205,6 +215,9 @@ func (in *Initiator) collect() {
 		if pr := in.port.Probe; pr != nil {
 			pr.RequestCompleted(beat.Req, in.clk.Cycles())
 		}
+		if rec := beat.Req.Attr; rec != nil && in.attrCol != nil {
+			in.attrCol.Finish(rec, in.clk.NowPS())
+		}
 		in.pool.Put(beat.Req)
 	}
 }
@@ -237,6 +250,7 @@ func (in *Initiator) issue() {
 		MsgEnd:       ev.MsgEnd,
 		Posted:       ev.Posted,
 		IssueCycle:   in.clk.Cycles(),
+		IssuePS:      in.clk.NowPS(),
 	}
 	in.port.Req.Push(req)
 	if pr := in.port.Probe; pr != nil {

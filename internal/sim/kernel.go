@@ -70,6 +70,14 @@ func (c *Clock) FreqMHz() float64 { return 1e6 / float64(c.periodPS) }
 // Cycles returns the number of rising edges elapsed so far.
 func (c *Clock) Cycles() int64 { return c.cycle }
 
+// NowPS returns the absolute simulated time of the edge currently being
+// processed, in picoseconds. Cycles() counts *completed* edges (it advances
+// after the edge's Eval+Update), so during a component's Eval or Update the
+// current edge sits at (Cycles()+1) * PeriodPS. Every clock domain's NowPS
+// agrees with kernel time at its own edges, giving cross-domain stamps (e.g.
+// latency attribution) one shared monotonic axis.
+func (c *Clock) NowPS() int64 { return (c.cycle + 1) * c.periodPS }
+
 // Register adds a component to this clock domain. Components are evaluated
 // in registration order; because all communication is through two-phase
 // FIFOs, the order affects only arbitration tie-breaks internal to a single

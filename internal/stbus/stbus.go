@@ -23,6 +23,7 @@ package stbus
 import (
 	"fmt"
 
+	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bus"
 	"mpsocsim/internal/metrics"
 )
@@ -116,6 +117,14 @@ type Node struct {
 	// cross-block between targets (the standard in-order issue rule).
 	outTarget []int
 
+	// attrCol/attrNow, when set, make the node stamp latency-attribution
+	// phases on every request it arbitrates (see EnableAttribution).
+	// attrHead caches, per initiator port, whether the current committed
+	// head already carries a stamped record (see scanAttrHeads).
+	attrCol  *attr.Collector
+	attrNow  func() int64
+	attrHead []bool
+
 	cycles    int64
 	forwarded int64
 	beatsOut  int64
@@ -158,11 +167,49 @@ func (n *Node) AttachTarget(p *bus.TargetPort) int {
 	return len(n.targets) - 1
 }
 
+// EnableAttribution makes the node stamp latency-attribution phase
+// transitions: records are attached lazily at the head-of-queue scan
+// (PhaseArbWait), marked PhaseBusXfer at grant and PhaseTargetQueue when the
+// transfer lands in the target's input FIFO. now must return the node
+// clock's current edge in absolute picoseconds (sim.Clock.NowPS). Call
+// before the run starts; with attribution off the hot path keeps a single
+// nil check.
+func (n *Node) EnableAttribution(col *attr.Collector, now func() int64) {
+	n.attrCol = col
+	n.attrNow = now
+}
+
 // Eval advances request and response paths one node cycle.
 func (n *Node) Eval() {
 	n.cycles++
+	if n.attrCol != nil {
+		n.scanAttrHeads()
+	}
 	n.evalRequestPaths()
 	n.evalResponsePaths()
+}
+
+// scanAttrHeads attaches attribution records to requests newly arrived at an
+// initiator-port head (entering arb_wait). The node is the sole consumer of
+// these FIFOs, so attrHead caches "current head already stamped" per port:
+// steady-state cost is one bool load per attached port and one inlined
+// CanPop per empty port, with AttachAttr firing exactly once per
+// head-arrival. Pop sites clear the flag.
+func (n *Node) scanAttrHeads() {
+	if len(n.attrHead) != len(n.initiators) {
+		n.attrHead = make([]bool, len(n.initiators))
+	}
+	var now int64
+	for i, ip := range n.initiators {
+		if n.attrHead[i] || !ip.Req.CanPop() {
+			continue
+		}
+		if now == 0 {
+			now = n.attrNow()
+		}
+		bus.AttachAttr(n.attrCol, ip.Req.Peek(), now)
+		n.attrHead[i] = true
+	}
 }
 
 // Update: the node owns no FIFOs (ports are owned by the attached
@@ -193,6 +240,15 @@ func (n *Node) evalRequestPaths() {
 		}
 		ip.Req.Pop()
 		req.Src = init
+		if n.attrCol != nil {
+			// Attach here as well as at the head scan, so a request
+			// granted the same cycle it became head still gets a record;
+			// the popped port's next head needs a fresh stamp.
+			now := n.attrNow()
+			bus.AttachAttr(n.attrCol, req, now)
+			req.Attr.Enter(attr.PhaseBusXfer, now)
+			n.attrHead[init] = false
+		}
 		if n.cfg.Type == Type1 {
 			req.Posted = false // Type 1 has no posted writes
 		}
@@ -228,6 +284,9 @@ func (n *Node) evalRequestPaths() {
 // and releases the channel.
 func (n *Node) completeTransfer(t int, ch *reqChannel) {
 	req := ch.cur
+	if rec := req.Attr; rec != nil && n.attrNow != nil {
+		rec.Enter(attr.PhaseTargetQueue, n.attrNow())
+	}
 	n.targets[t].Req.Push(req)
 	n.forwarded++
 	ch.cur = nil
