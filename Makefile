@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench benchquick fuzz-short cover
+.PHONY: build test vet race race-full verify bench benchquick fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# Full-suite race pass (CI's race-full job): the sharded execution mode puts
+# shard goroutines on shared boundary FIFOs, so the conformance matrix and
+# the SPSC stress tests must run under the detector at full length.
+race-full:
+	$(GO) test -race ./...
+
 verify: vet build test race
 
 # Coverage over the full suite: writes the raw profile (coverage.out, the CI
@@ -39,10 +45,10 @@ fuzz-short:
 	$(GO) test ./internal/tracecap -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 
 # Perf-trajectory snapshot: benchmarks the simulator and refreshes
-# BENCH_5.json (ns/op, allocs/op, simulated cycles per second, speedup vs
-# the frozen pre-optimization baseline, instrumentation overhead
-# fractions). `make benchquick` is the smoke variant CI runs: every
-# benchmark once, no JSON.
+# BENCH_6.json (ns/op, allocs/op, simulated cycles per second, speedup vs
+# the frozen pre-optimization baseline, instrumentation overhead fractions,
+# serial-vs-sharded speedup). `make benchquick` is the smoke variant CI
+# runs: every benchmark once, no JSON.
 bench:
 	$(GO) run ./cmd/bench
 

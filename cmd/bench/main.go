@@ -4,7 +4,7 @@
 // BENCH_<n>.json snapshot next to the previous ones, so the cycles/sec
 // trajectory across PRs lives in the repo itself.
 //
-//	go run ./cmd/bench            # writes BENCH_5.json in the cwd
+//	go run ./cmd/bench            # writes BENCH_6.json in the cwd
 //	go run ./cmd/bench -o out.json
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -74,6 +74,14 @@ type Report struct {
 	// layer (phase stamps on every hop of every transaction, no
 	// retention). The attribution acceptance bound is ≤ 3%.
 	AttrOverheadFrac float64 `json:"attr_overhead_frac"`
+	// ShardedSpeedup{2,4} is the §15 parallel-kernel speedup: serial
+	// run-phase ns/op divided by the same run sharded across 2/4 clock
+	// domains. Values below 1 mean the barrier protocol costs more than
+	// the parallelism recovers — expected on a single-CPU host, where the
+	// shards time-slice one core and every window adds scheduler
+	// round-trips (see DESIGN.md §15 for the scaling bound).
+	ShardedSpeedup2 float64 `json:"sharded_speedup_2"`
+	ShardedSpeedup4 float64 `json:"sharded_speedup_4"`
 }
 
 // referenceBaseline was measured at the seed of this PR (commit 85de9db,
@@ -89,7 +97,7 @@ var referenceBaseline = Baseline{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output file")
+	out := flag.String("o", "BENCH_6.json", "output file")
 	prof := profiling.DefineFlags()
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -212,6 +220,22 @@ func main() {
 				}
 			}
 		}},
+		// §15 sharded execution: the same run phase with the clock domains
+		// spread across parallel shards. Bit-identical results by contract
+		// (the conformance suite holds that line), so the only question
+		// here is speed.
+		{"reference_sharded_2", func(p *platform.Platform) func(platform.Result) {
+			if err := p.EnableSharding(2); err != nil {
+				fatal("sharding: " + err.Error())
+			}
+			return func(platform.Result) {}
+		}},
+		{"reference_sharded_4", func(p *platform.Platform) func(platform.Result) {
+			if err := p.EnableSharding(4); err != nil {
+				fatal("sharding: " + err.Error())
+			}
+			return func(platform.Result) {}
+		}},
 	}
 	const phaseRounds = 40
 	entries := make([]Entry, len(bodies))
@@ -293,10 +317,12 @@ func main() {
 	if ref := report.Benchmarks[0]; ref.NsPerOp > 0 {
 		report.SpeedupNsPerOp = report.Baseline.NsPerOp / ref.NsPerOp
 	}
-	if bare := report.Benchmarks[1]; bare.NsPerOp > 0 {
-		report.MetricsOverheadFrac = (report.Benchmarks[2].NsPerOp - bare.NsPerOp) / bare.NsPerOp
-		report.CaptureOverheadFrac = (report.Benchmarks[3].NsPerOp - bare.NsPerOp) / bare.NsPerOp
-		report.AttrOverheadFrac = (report.Benchmarks[4].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+	if bare := entries[0]; bare.NsPerOp > 0 {
+		report.MetricsOverheadFrac = (entries[1].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+		report.CaptureOverheadFrac = (entries[2].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+		report.AttrOverheadFrac = (entries[3].NsPerOp - bare.NsPerOp) / bare.NsPerOp
+		report.ShardedSpeedup2 = bare.NsPerOp / entries[4].NsPerOp
+		report.ShardedSpeedup4 = bare.NsPerOp / entries[5].NsPerOp
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -309,6 +335,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%, attr overhead: %.1f%%  ->  %s\n",
-		report.SpeedupNsPerOp, 100*report.MetricsOverheadFrac, 100*report.CaptureOverheadFrac, 100*report.AttrOverheadFrac, *out)
+	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%, attr overhead: %.1f%%, sharded x2/x4: %.2fx/%.2fx  ->  %s\n",
+		report.SpeedupNsPerOp, 100*report.MetricsOverheadFrac, 100*report.CaptureOverheadFrac, 100*report.AttrOverheadFrac,
+		report.ShardedSpeedup2, report.ShardedSpeedup4, *out)
 }

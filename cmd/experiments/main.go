@@ -42,6 +42,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs (1 = serial)")
+	shards := flag.Int("shards", 1, "parallel shards per simulation run (bit-identical to serial; composes with -j)")
 	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
 	prof := profiling.DefineFlags()
 	flag.Usage = func() {
@@ -61,7 +62,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Workers: *jobs}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Workers: *jobs, Shards: *shards}
 	if !*quiet {
 		o.Progress = os.Stderr
 	}

@@ -85,6 +85,7 @@ func main() {
 	sampleEvery := flag.Int64("sample-every", metrics.DefaultSampleEvery, "gauge sampling window in domain cycles (for -report/-chrome-trace timelines)")
 	attrOn := flag.Bool("attr", false, "enable per-transaction latency attribution (adds the report's attribution section and the Chrome-trace phase sub-slices)")
 	attrTop := flag.Int("attr-top", 0, "print the top-N initiators by attributed latency, with their dominant phase, to stderr (implies -attr)")
+	shards := flag.Int("shards", 1, "run clock domains on N parallel shards (bit-identical to serial; incompatible with -trace/-vcd)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -190,6 +191,13 @@ func main() {
 			retain = 4096
 		}
 		p.EnableAttribution(retain)
+	}
+	if *shards > 1 {
+		// Last: sharding freezes the component-to-shard assignment, so every
+		// observability attachment above must already be in place.
+		if err := p.EnableSharding(*shards); err != nil {
+			fatalf("shards: %v", err)
+		}
 	}
 	r := p.Run(int64(*budgetMS * 1e9))
 	if err := r.WriteSummary(os.Stdout); err != nil {

@@ -1,5 +1,7 @@
 package bus
 
+import "sync"
+
 // RequestPool recycles Request objects so the steady-state hot path of a
 // platform allocates nothing per transaction. One pool is shared by every
 // component of a platform instance (the platform builder wires it in), and
@@ -18,14 +20,28 @@ package bus
 // and Put is a no-op, so components built outside a platform (unit tests,
 // examples) keep their original behaviour.
 //
-// The pool is deliberately not safe for concurrent use — a platform is
+// The pool is not safe for concurrent use by default — a serial platform is
 // single-threaded by construction, and the parallel experiment runner gives
-// each worker its own platform (and therefore its own pool).
+// each worker its own platform (and therefore its own pool). Sharded
+// execution keeps the single platform-wide pool (per-shard pools would drain
+// systematically across shard cuts and allocate per transaction forever) and
+// switches it into shared mode instead: SetShared(true) guards Get/Put with
+// a mutex. Which shard's Get receives which recycled pointer then depends on
+// scheduling, but request identity is unobservable — Put scrubs every field,
+// and nothing keyed on request pointers is ever iterated — so results stay
+// bit-identical to serial runs.
 type RequestPool struct {
-	free []*Request
-	gets int64
-	news int64
+	free   []*Request
+	gets   int64
+	news   int64
+	shared bool
+	mu     sync.Mutex
 }
+
+// SetShared toggles mutex protection of Get/Put for sharded execution. Call
+// before simulation starts; the serial hot path keeps a single predictable
+// branch.
+func (p *RequestPool) SetShared(on bool) { p.shared = on }
 
 // Get returns a scrubbed Request, recycling a previously Put one when
 // available.
@@ -33,16 +49,26 @@ func (p *RequestPool) Get() *Request {
 	if p == nil {
 		return &Request{}
 	}
+	if p.shared {
+		p.mu.Lock()
+	}
+	var r *Request
 	p.gets++
 	if n := len(p.free) - 1; n >= 0 {
-		r := p.free[n]
+		r = p.free[n]
 		p.free[n] = nil
 		p.free = p.free[:n]
 		r.pooled = false
-		return r
+	} else {
+		p.news++
 	}
-	p.news++
-	return &Request{}
+	if p.shared {
+		p.mu.Unlock()
+	}
+	if r == nil {
+		return &Request{}
+	}
+	return r
 }
 
 // Put returns a request to the pool. The request must not be referenced by
@@ -57,6 +83,12 @@ func (p *RequestPool) Put(r *Request) {
 		panic("bus: request returned to pool twice")
 	}
 	*r = Request{pooled: true}
+	if p.shared {
+		p.mu.Lock()
+		p.free = append(p.free, r)
+		p.mu.Unlock()
+		return
+	}
 	p.free = append(p.free, r)
 }
 

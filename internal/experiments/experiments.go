@@ -37,6 +37,12 @@ type Options struct {
 	// <= 0 selects runtime.NumCPU(), 1 restores strictly serial
 	// execution (the CLI's -j flag maps here).
 	Workers int
+	// Shards runs each simulation's clock domains on N parallel shards
+	// (platform.EnableSharding; bit-identical results by contract). It
+	// composes with Workers: Workers parallelizes across runs, Shards
+	// within one run. <= 1 keeps runs serial (the CLI's -shards flag
+	// maps here).
+	Shards int
 	// Progress, when non-nil, receives the runner's live progress/ETA
 	// line (the CLI passes os.Stderr; tests leave it nil).
 	Progress io.Writer
@@ -98,12 +104,27 @@ func normalizeEntries(entries []Entry) {
 	}
 }
 
+// buildPlatform builds the spec and applies the sharded execution mode when
+// Options.Shards asks for one.
+func buildPlatform(spec platform.Spec, shards int) (*platform.Platform, error) {
+	p, err := platform.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if shards > 1 {
+		if err := p.EnableSharding(shards); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 // platformJob wraps one full-platform run as a runner job. A run that
 // fails to drain within the budget is an error, not a panic: under the
 // runner one crashed configuration must not kill its siblings.
-func platformJob(name string, spec platform.Spec) runner.Job[platform.Result] {
+func platformJob(name string, spec platform.Spec, shards int) runner.Job[platform.Result] {
 	return runner.Job[platform.Result]{Name: name, Run: func() (platform.Result, error) {
-		p, err := platform.Build(spec)
+		p, err := buildPlatform(spec, shards)
 		if err != nil {
 			return platform.Result{}, err
 		}
@@ -116,8 +137,8 @@ func platformJob(name string, spec platform.Spec) runner.Job[platform.Result] {
 }
 
 // cycleJob is platformJob reduced to the run's central-cycle count.
-func cycleJob(name string, spec platform.Spec) runner.Job[int64] {
-	inner := platformJob(name, spec)
+func cycleJob(name string, spec platform.Spec, shards int) runner.Job[int64] {
+	inner := platformJob(name, spec, shards)
 	return runner.Job[int64]{Name: name, Run: func() (int64, error) {
 		r, err := inner.Run()
 		return r.CentralCycles, err
@@ -153,7 +174,7 @@ func Fig3(o Options) (Series, error) {
 	mk := func(name string, proto platform.Protocol, topo platform.Topology) runner.Job[int64] {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = proto, topo, platform.OnChip
-		return cycleJob(name, s)
+		return cycleJob(name, s, o.Shards)
 	}
 	jobs := []runner.Job[int64]{
 		mk("collapsed AXI", platform.AXI, platform.Collapsed),
@@ -215,7 +236,7 @@ func Fig4(o Options, waitStates []int) (Fig4Result, error) {
 			s.OnChipWaitStates = w
 			s.OutstandingOverride = 1
 			s.ForceNonPostedWrites = true
-			jobs = append(jobs, cycleJob(fmt.Sprintf("%dws/%s", w, topo), s))
+			jobs = append(jobs, cycleJob(fmt.Sprintf("%dws/%s", w, topo), s, o.Shards))
 		}
 	}
 	cycles, err := runner.Values(runner.Map(jobs, o.pool("fig4")))
@@ -262,7 +283,7 @@ func Fig5(o Options) (Series, error) {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = proto, topo, platform.LMIDDR
 		s.SplitLMIBridge = split
-		return cycleJob(name, s)
+		return cycleJob(name, s, o.Shards)
 	}
 	jobs := []runner.Job[int64]{
 		mk("distributed STBus", platform.STBus, platform.Distributed, false),
@@ -318,8 +339,8 @@ func Fig6(o Options) (Fig6Report, error) {
 	sa.Protocol = platform.AHB
 
 	results, err := runner.Values(runner.Map([]runner.Job[platform.Result]{
-		platformJob("stbus two-phase", s),
-		platformJob("ahb rerun", sa),
+		platformJob("stbus two-phase", s, o.Shards),
+		platformJob("ahb rerun", sa, o.Shards),
 	}, o.pool("fig6")))
 	if err != nil {
 		return Fig6Report{}, err

@@ -56,6 +56,11 @@ func CrossFabricReplay(o Options) (ReplayResult, error) {
 	}
 	capture := tracecap.NewCapture(base.Name(), 0)
 	p.AttachCapture(capture)
+	if o.Shards > 1 {
+		if err := p.EnableSharding(o.Shards); err != nil {
+			return ReplayResult{}, err
+		}
+	}
 	r := p.Run(Budget)
 	if !r.Done {
 		return ReplayResult{}, fmt.Errorf("capture run on %s did not drain within budget", base.Name())
@@ -88,7 +93,7 @@ func CrossFabricReplay(o Options) (ReplayResult, error) {
 		s := base
 		s.Protocol = v.proto
 		s.Replay = tr
-		jobs = append(jobs, platformJob(v.name, s))
+		jobs = append(jobs, platformJob(v.name, s, o.Shards))
 	}
 	results, err := runner.Values(runner.Map(jobs, o.pool("replay")))
 	if err != nil {

@@ -282,6 +282,32 @@ func (g *Generator) Done() bool {
 	return true
 }
 
+// Unfinished returns the transactions not yet completed: those still to be
+// issued plus those in flight. It hits zero exactly when Done flips true —
+// the sharded run coordinator uses it to decide how long parallel windows
+// are provably safe (the run cannot drain inside a window while Unfinished
+// exceeds the per-window completion bound).
+func (g *Generator) Unfinished() int64 {
+	var n int64
+	for _, a := range g.agents {
+		if left := a.totalCount() - a.issued; left > 0 {
+			n += left
+		}
+		n += int64(a.inFlight)
+	}
+	return n
+}
+
+// MaxConcurrent returns an upper bound on this generator's simultaneously
+// in-flight transactions (the sum of the agents' outstanding windows).
+func (g *Generator) MaxConcurrent() int64 {
+	var n int64
+	for _, a := range g.agents {
+		n += int64(a.cfg.Outstanding)
+	}
+	return n
+}
+
 // Eval collects responses and issues at most one new transaction per cycle.
 func (g *Generator) Eval() {
 	g.collect()

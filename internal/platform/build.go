@@ -41,6 +41,12 @@ type Initiator interface {
 	Done() bool
 	Issued() int64
 	Completed() int64
+	// Unfinished counts transactions not yet completed (to-issue plus in
+	// flight); MaxConcurrent bounds the simultaneously in-flight count.
+	// The sharded run coordinator combines them to prove how long parallel
+	// windows cannot drain the workload (see shard.go).
+	Unfinished() int64
+	MaxConcurrent() int64
 	Stats() []iptg.AgentStats
 	UseRequestPool(*bus.RequestPool)
 	UseAttribution(*attr.Collector)
@@ -83,8 +89,67 @@ type Platform struct {
 	// EnableAttribution is called.
 	attrCol *attr.Collector
 
-	ids  bus.IDSource
-	pool bus.RequestPool
+	// idSrcs holds one request-ID source per initiator (traffic generators,
+	// replayers, DSP core), each seeded into a disjoint range. Per-initiator
+	// sources keep IDs globally unique without a shared counter, which a
+	// sharded run would race on; IDs are correlation-only and never reach a
+	// result or trace, so serial results are unchanged.
+	idSrcs []*bus.IDSource
+	pool   bus.RequestPool
+
+	// centralRegs journals every component registered on the central clock,
+	// tagged with the platform unit it belongs to, in registration order.
+	// Sharded assembly replays the journal onto per-shard central clocks
+	// (see shard.go); serial runs never read it.
+	centralRegs []centralReg
+
+	// timeline-trigger state, kept so sharded assembly can replace the
+	// single cross-domain trigger with per-shard equivalents.
+	timelineEvery   int64
+	timelineTrigger *sim.ClockedFunc
+	samplerClocks   []*sim.Clock
+
+	// sharded-run state (nil/zero until EnableSharding).
+	shardKernels  []*sim.Kernel
+	shardCentral  []*sim.Clock // per-shard central clock (real or replica)
+	boundaryFifos []sim.DeferredCommitter
+	tailThreshold int64
+	sharded       bool
+	shards        int
+	// samplerAttached marks that the CSV/VCD tracing sampler (AttachSampler
+	// in tracing.go) was installed; it reads cross-domain state from a
+	// central-clock hook and is incompatible with sharded execution.
+	samplerAttached bool
+}
+
+// centralReg is one journaled central-clock registration: the component and
+// the platform unit (shard-assignment granule) that owns it.
+type centralReg struct {
+	unit string
+	comp sim.Clocked
+}
+
+// timelineUnit is the reserved journal unit of the EnableTimelines sampling
+// trigger. It is not a shard-assignment granule: sharded assembly skips it
+// when replaying the journal and installs one trigger per shard instead.
+const timelineUnit = "\x00timeline"
+
+// regCentral registers comp on the central clock and journals the
+// registration under the owning unit ("central" for the memory/interconnect
+// core, a cluster name for that cluster's bridge initiator side, "cpu" for
+// the DSP converter's initiator side).
+func (p *Platform) regCentral(unit string, comp sim.Clocked) {
+	p.CentralClk.Register(comp)
+	p.centralRegs = append(p.centralRegs, centralReg{unit: unit, comp: comp})
+}
+
+// newIDSource mints the per-initiator request-ID source for the given
+// origin. Bases are spaced 2^40 apart — wider than any run's transaction
+// count — so ranges never collide.
+func (p *Platform) newIDSource(origin int) *bus.IDSource {
+	src := bus.NewIDSource(uint64(origin+1) << 40)
+	p.idSrcs = append(p.idSrcs, &src)
+	return p.idSrcs[len(p.idSrcs)-1]
 }
 
 // fabricEntry pairs an interconnect node with the clock domain it runs in.
@@ -124,12 +189,12 @@ func Build(spec Spec) (*Platform, error) {
 	// have been registered (registration order within a clock is the
 	// deterministic evaluation order; correctness is order-independent
 	// thanks to two-phase FIFOs).
-	p.CentralClk.Register(p.centralFab)
+	p.regCentral("central", p.centralFab)
 	if p.onchip != nil {
-		p.CentralClk.Register(p.onchip)
+		p.regCentral("central", p.onchip)
 	}
 	if p.ctrl != nil {
-		p.CentralClk.Register(p.ctrl)
+		p.regCentral("central", p.ctrl)
 	}
 	p.wirePool()
 	p.registerMetrics()
@@ -190,6 +255,9 @@ func (p *Platform) EnableTimelines(every int64, capSamples int) {
 	if len(p.samplers) > 0 {
 		return
 	}
+	if p.sharded {
+		panic("platform: EnableTimelines must be called before EnableSharding")
+	}
 	if every <= 0 {
 		every = metrics.DefaultSampleEvery
 	}
@@ -198,8 +266,10 @@ func (p *Platform) EnableTimelines(every int64, capSamples int) {
 		s := p.Metrics.NewSampler(clk.Name(), clk.PeriodPS(), every, capSamples)
 		p.samplers = append(p.samplers, s)
 	}
+	p.timelineEvery = every
+	p.samplerClocks = append([]*sim.Clock(nil), clocks...)
 	left := every
-	clocks[0].Register(&sim.ClockedFunc{OnEval: func() {
+	p.timelineTrigger = &sim.ClockedFunc{OnEval: func() {
 		left--
 		if left > 0 {
 			return
@@ -208,7 +278,11 @@ func (p *Platform) EnableTimelines(every int64, capSamples int) {
 		for i, s := range p.samplers {
 			s.Sample(clocks[i].Cycles())
 		}
-	}})
+	}}
+	// Journaled under a reserved unit so sharded assembly can replace the
+	// single trigger with one per shard (each sampling only its home
+	// domains); see EnableSharding.
+	p.regCentral(timelineUnit, p.timelineTrigger)
 }
 
 // attributable is the attribution-enable surface every concrete fabric
@@ -235,6 +309,9 @@ type attributable interface {
 func (p *Platform) EnableAttribution(retain int) *attr.Collector {
 	if p.attrCol != nil {
 		return p.attrCol
+	}
+	if p.sharded {
+		panic("platform: EnableAttribution must be called before EnableSharding")
 	}
 	col := attr.NewCollector(0)
 	for _, g := range p.gens {
@@ -393,9 +470,9 @@ func (p *Platform) buildMemory() error {
 		p.centralFab.AttachTarget(br.TargetPort())
 		lmiNode.AttachInitiator(br.InitiatorPort())
 		lmiNode.AttachTarget(p.ctrl.Port())
-		p.CentralClk.Register(br.TargetSide)
-		p.CentralClk.Register(br.InitiatorSide)
-		p.CentralClk.Register(lmiNode)
+		p.regCentral("central", br.TargetSide)
+		p.regCentral("central", br.InitiatorSide)
+		p.regCentral("central", lmiNode)
 		return nil
 	default:
 		return fmt.Errorf("platform: unknown memory kind %d", p.Spec.Memory)
@@ -418,7 +495,7 @@ func (p *Platform) buildClusters() error {
 				}
 				origin++
 				p.centralFab.AttachInitiator(gen.Port())
-				p.CentralClk.Register(gen)
+				p.regCentral("central", gen)
 				p.gens = append(p.gens, gen)
 				p.genCluster = append(p.genCluster, cl.name)
 				p.genClk = append(p.genClk, p.CentralClk)
@@ -451,7 +528,7 @@ func (p *Platform) buildClusters() error {
 			}
 			clk.Register(fab)
 			clk.Register(br.TargetSide)
-			p.CentralClk.Register(br.InitiatorSide)
+			p.regCentral(cl.name, br.InitiatorSide)
 			p.clusterFab = append(p.clusterFab, fab)
 		}
 	default:
@@ -466,7 +543,7 @@ func (p *Platform) buildClusters() error {
 // inherits the IP's port depths, so the fabric sees an identical interface.
 func (p *Platform) newInitiator(ipCfg iptg.Config, clk *sim.Clock, origin int) (Initiator, error) {
 	if p.Spec.Replay == nil {
-		return iptg.New(ipCfg, clk, &p.ids, origin)
+		return iptg.New(ipCfg, clk, p.newIDSource(origin), origin)
 	}
 	st := p.Spec.Replay.Stream(ipCfg.Name)
 	if st == nil {
@@ -479,7 +556,7 @@ func (p *Platform) newInitiator(ipCfg iptg.Config, clk *sim.Clock, origin int) (
 		Outstanding:   p.Spec.ReplayOutstanding,
 		PortReqDepth:  ipCfg.PortReqDepth,
 		PortRespDepth: ipCfg.PortRespDepth,
-	}, clk, &p.ids, origin)
+	}, clk, p.newIDSource(origin), origin)
 }
 
 // AttachCapture installs the capture's per-initiator stream probes on every
@@ -515,7 +592,7 @@ func (p *Platform) buildDSP() {
 	if p.Spec.DSPDCacheKB > 0 {
 		coreCfg.DCache.SizeBytes = p.Spec.DSPDCacheKB << 10
 	}
-	p.core = dspcore.MustNew(coreCfg, prog, p.CPUClk, &p.ids, dspOrigin)
+	p.core = dspcore.MustNew(coreCfg, prog, p.CPUClk, p.newIDSource(dspOrigin), dspOrigin)
 
 	var convCfg bridge.Config
 	if p.Spec.Protocol == STBus {
@@ -541,7 +618,7 @@ func (p *Platform) buildDSP() {
 	p.CPUClk.Register(p.core)
 	p.CPUClk.Register(link)
 	p.CPUClk.Register(conv.TargetSide)
-	p.CentralClk.Register(conv.InitiatorSide)
+	p.regCentral("cpu", conv.InitiatorSide)
 }
 
 // Initiators returns the platform's traffic sources (live generators or

@@ -61,6 +61,9 @@ type Result struct {
 // time elapses, or the progress watchdog detects a stall (no transaction
 // issued or completed over a long window — a deadlocked configuration).
 func (p *Platform) Run(maxPS int64) Result {
+	if p.sharded {
+		return p.runSharded(maxPS)
+	}
 	// Completion is defined by the IP traffic draining; the DSP is
 	// background interference and never gates the run.
 	pending := func() bool {

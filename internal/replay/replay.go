@@ -297,6 +297,16 @@ func (in *Initiator) Completed() int64 { return in.completed }
 // Remaining returns the recorded events not yet issued.
 func (in *Initiator) Remaining() int { return len(in.events) - in.next }
 
+// Unfinished returns the transactions not yet completed: events still to be
+// issued plus those in flight. Zero exactly when Done is true; see
+// iptg.Generator.Unfinished for how the sharded coordinator uses it.
+func (in *Initiator) Unfinished() int64 {
+	return int64(len(in.events)-in.next) + int64(in.inFlight)
+}
+
+// MaxConcurrent returns the initiator's outstanding-transaction cap.
+func (in *Initiator) MaxConcurrent() int64 { return int64(in.cfg.Outstanding) }
+
 // Stats reports the replayer's activity in the generator stats shape: one
 // synthetic agent named after the scheduling mode, so replay results render
 // through the same reporting path as live runs.

@@ -10,6 +10,22 @@ import "fmt"
 // The writer-side component must call WriterUpdate from its Update method;
 // the reader side must call ReaderUpdate. (A bridge owning both sides in a
 // single component on two clocks uses two small shims; see internal/bridge.)
+//
+// # Single-producer/single-consumer contract
+//
+// An AsyncFifo is strictly SPSC and carries no internal synchronization:
+// exactly one component stages pushes (Push/CanPush/WriterUpdate) and
+// exactly one stages pops (Pop/Peek/CanPop/ReaderUpdate). The two sides may
+// run on different goroutines only when every access of one side
+// happens-before the conflicting accesses of the other — in this codebase
+// that means both sides of a crossing live inside the same shard, stepped by
+// one goroutine. WriterUpdate reads the reader clock's cycle counter and
+// appends to the shared entry slice, so splitting the two sides across
+// concurrently-running shards is a data race by construction; the sharded
+// platform assembly therefore keeps each bridge (owner of both sides) whole
+// in a single shard and places the shard cut at the bridge's initiator-port
+// bus FIFOs instead (see Fifo.MarkDeferred and DESIGN.md §15). The contract
+// is enforced by TestAsyncFifoSPSCStress under the race detector.
 type AsyncFifo[T any] struct {
 	name       string
 	depth      int
@@ -50,6 +66,22 @@ func NewAsyncFifo[T any](name string, depth, syncCycles int, readerClk *Clock) *
 
 // Name returns the FIFO's name.
 func (f *AsyncFifo[T]) Name() string { return f.name }
+
+// SetReaderClock re-points the FIFO at a different reader clock domain.
+// Shard assembly uses it when a bridge's destination clock is replaced by a
+// shard-local replica (same name and period, so maturity arithmetic is
+// unchanged). The FIFO must be idle: entries already stamped against the old
+// clock would otherwise mature on a foreign counter.
+func (f *AsyncFifo[T]) SetReaderClock(clk *Clock) {
+	if len(f.cur) != 0 || len(f.pending) != 0 || f.npop != 0 {
+		panic(fmt.Sprintf("sim: SetReaderClock on non-idle async fifo %q", f.name))
+	}
+	if clk.PeriodPS() != f.readerClk.PeriodPS() {
+		panic(fmt.Sprintf("sim: SetReaderClock period mismatch on async fifo %q (%d ps -> %d ps)",
+			f.name, f.readerClk.PeriodPS(), clk.PeriodPS()))
+	}
+	f.readerClk = clk
+}
 
 // Depth returns capacity.
 func (f *AsyncFifo[T]) Depth() int { return f.depth }

@@ -1,0 +1,112 @@
+package sim
+
+// Sharded execution support: a ShardRunner steps several kernels through
+// shared time windows on parallel goroutines. The synchronization protocol
+// is conservative (no rollback) and window-based:
+//
+//   - every kernel owns a disjoint set of clock domains whose components
+//     communicate across kernels only through deferred-commit FIFOs
+//     (Fifo.MarkDeferred), whose committed region is frozen between
+//     barriers;
+//   - the coordinator picks a window-end instant T such that no cross-kernel
+//     state committed inside (T0, T] can be observed by another kernel
+//     before the next window (the lookahead bound: one owning-clock period
+//     of the boundary FIFOs);
+//   - RunWindow(T) releases every kernel to execute all of its edges <= T,
+//     then blocks until all are done. The channel handoffs publish each
+//     shard's writes to the coordinator and vice versa (happens-before), so
+//     the coordinator can commit the boundary FIFOs and read any component
+//     state single-threaded between windows.
+//
+// A RunWindow call performs no heap allocation, preserving the platform's
+// 0 allocs/cycle steady-state invariant in sharded mode.
+
+// DeferredCommitter is the commit surface of a deferred-commit boundary FIFO
+// (see Fifo.MarkDeferred); the window coordinator commits all of them
+// between windows.
+type DeferredCommitter interface {
+	CommitDeferred()
+}
+
+// ShardRunner drives one goroutine per additional kernel; the caller's
+// goroutine doubles as the executor of kernels[0], so a single-shard runner
+// spawns nothing and degenerates to plain serial stepping.
+type ShardRunner struct {
+	kernels []*Kernel
+	cmd     []chan int64  // one buffered slot per worker: window-end instant
+	ack     chan struct{} // workers signal window completion
+	closed  bool
+}
+
+// NewShardRunner starts the worker goroutines. Close must be called to stop
+// them (idempotent).
+func NewShardRunner(kernels []*Kernel) *ShardRunner {
+	r := &ShardRunner{
+		kernels: kernels,
+		ack:     make(chan struct{}, len(kernels)),
+	}
+	for i := 1; i < len(kernels); i++ {
+		c := make(chan int64, 1)
+		r.cmd = append(r.cmd, c)
+		go worker(kernels[i], c, r.ack)
+	}
+	return r
+}
+
+// worker executes windows for one kernel until its command channel closes.
+func worker(k *Kernel, cmd <-chan int64, ack chan<- struct{}) {
+	for t := range cmd {
+		k.RunUntil(t)
+		ack <- struct{}{}
+	}
+}
+
+// RunWindow executes all edges at or before t on every kernel, in parallel,
+// and returns once all kernels have reached the barrier. On return the
+// coordinator has a happens-before edge from every shard's writes (and its
+// own writes are published to the shards at the next RunWindow).
+func (r *ShardRunner) RunWindow(t int64) {
+	for _, c := range r.cmd {
+		c <- t
+	}
+	r.kernels[0].RunUntil(t)
+	for range r.cmd {
+		<-r.ack
+	}
+}
+
+// StepAll executes, single-threaded on the caller's goroutine, all edges at
+// or before t on every kernel in shard order. The serial tail of a sharded
+// run uses it to finish with exact per-instant granularity (stop conditions
+// are re-evaluated between global instants, as in a serial run).
+func (r *ShardRunner) StepAll(t int64) {
+	for _, k := range r.kernels {
+		k.RunUntil(t)
+	}
+}
+
+// PeekNextEdge returns the earliest next edge across all kernels (-1 when no
+// kernel has clocks).
+func (r *ShardRunner) PeekNextEdge() int64 {
+	next := int64(-1)
+	for _, k := range r.kernels {
+		if e := k.PeekNextEdge(); e >= 0 && (next < 0 || e < next) {
+			next = e
+		}
+	}
+	return next
+}
+
+// Close stops the worker goroutines. Memory visibility of the shards' final
+// state is already established by the last window's acknowledgements, so the
+// caller may read cross-shard state after its last RunWindow regardless of
+// worker teardown timing. Idempotent.
+func (r *ShardRunner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, c := range r.cmd {
+		close(c)
+	}
+}

@@ -1,0 +1,394 @@
+package sim
+
+import (
+	"testing"
+)
+
+// --- deferred-commit Fifo contract -----------------------------------------
+
+// TestFifoDeferredUpdateIsNoOp pins the core of the deferred-commit
+// discipline: after MarkDeferred the owner's per-cycle Update commits
+// nothing, and CommitDeferred performs exactly the commit Update would have.
+// A twin FIFO driven serially through the same operation sequence must stay
+// bit-identical in visibility and statistics.
+func TestFifoDeferredUpdateIsNoOp(t *testing.T) {
+	d := NewFifo[int]("deferred", 4)
+	s := NewFifo[int]("serial", 4)
+	d.MarkDeferred()
+	if !d.Deferred() {
+		t.Fatal("Deferred() false after MarkDeferred")
+	}
+
+	d.Push(1)
+	s.Push(1)
+	d.Update() // must be a no-op
+	if d.Len() != 0 {
+		t.Fatalf("owner Update committed on a deferred fifo: len=%d", d.Len())
+	}
+	s.Update()
+	d.CommitDeferred()
+	if d.Len() != 1 || s.Len() != 1 {
+		t.Fatalf("commit mismatch: deferred len=%d serial len=%d", d.Len(), s.Len())
+	}
+
+	// A few mixed cycles: the coordinator commit must reproduce the serial
+	// occupancy statistics cycle for cycle.
+	for cyc := 0; cyc < 20; cyc++ {
+		if cyc%3 != 0 && d.CanPush() {
+			d.Push(cyc)
+			s.Push(cyc)
+		}
+		if cyc%2 == 0 && d.CanPop() {
+			if dv, sv := d.Pop(), s.Pop(); dv != sv {
+				t.Fatalf("cycle %d: popped %d (deferred) vs %d (serial)", cyc, dv, sv)
+			}
+		}
+		d.CommitDeferred()
+		s.Update()
+		if d.Len() != s.Len() {
+			t.Fatalf("cycle %d: occupancy diverged: %d vs %d", cyc, d.Len(), s.Len())
+		}
+	}
+	if d.Stats() != s.Stats() {
+		t.Fatalf("statistics diverged:\ndeferred: %+v\nserial:   %+v", d.Stats(), s.Stats())
+	}
+}
+
+func TestFifoMarkDeferredPanicsNonIdle(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(f *Fifo[int])
+	}{
+		{"staged-push", func(f *Fifo[int]) { f.Push(1) }},
+		{"committed-entry", func(f *Fifo[int]) { f.Push(1); f.Update() }},
+		{"staged-pop", func(f *Fifo[int]) { f.Push(1); f.Update(); f.Pop() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewFifo[int]("f", 4)
+			tc.prep(f)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("MarkDeferred on a non-idle fifo must panic")
+				}
+			}()
+			f.MarkDeferred()
+		})
+	}
+}
+
+func TestFifoDeferredRemoveAtPanics(t *testing.T) {
+	f := NewFifo[int]("f", 4)
+	f.MarkDeferred()
+	f.Push(1)
+	f.Push(2)
+	f.CommitDeferred()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveAt on a deferred fifo must panic (breaks the SPSC field partition)")
+		}
+	}()
+	f.RemoveAt(1)
+}
+
+func TestFifoCommitDeferredPanicsWhenNotDeferred(t *testing.T) {
+	f := NewFifo[int]("f", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CommitDeferred on a non-deferred fifo must panic")
+		}
+	}()
+	f.CommitDeferred()
+}
+
+// TestFifoDeferredSPSCStress is the race-detector proof of the field
+// partition documented on Fifo: with the FIFO in deferred-commit mode, a
+// pusher and a popper on two different shards (goroutines) may run
+// concurrently inside a synchronization window without atomics, because the
+// pusher touches only npush and ring slots >= n, the popper only npop and
+// slots < n, and n/head stay frozen until the coordinator commits at the
+// barrier. Run under -race (the CI race job does).
+func TestFifoDeferredSPSCStress(t *testing.T) {
+	windows := 20000
+	if testing.Short() {
+		windows = 2000
+	}
+
+	f := NewFifo[int]("boundary", 4)
+	f.MarkDeferred()
+
+	kPush := NewKernel()
+	cPush := kPush.NewClock("push", 100)
+	kPop := NewKernel()
+	cPop := kPop.NewClock("pop", 100)
+
+	next := 0
+	cPush.Register(&ClockedFunc{OnEval: func() {
+		// Bursty: some cycles push nothing, some fill the window.
+		if cPush.Cycles()%7 == 3 {
+			return
+		}
+		for f.CanPush() {
+			f.Push(next)
+			next++
+		}
+	}})
+
+	var got []int
+	cPop.Register(&ClockedFunc{OnEval: func() {
+		if cPop.Cycles()%5 == 1 {
+			return
+		}
+		for f.CanPop() {
+			got = append(got, f.Pop())
+		}
+	}})
+
+	r := NewShardRunner([]*Kernel{kPush, kPop})
+	period := cPush.PeriodPS()
+	for w := int64(1); w <= int64(windows); w++ {
+		r.RunWindow(w * period)
+		f.CommitDeferred()
+	}
+	r.Close()
+
+	if len(got) == 0 {
+		t.Fatal("nothing crossed the boundary")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("value %d arrived out of order (got %d)", i, v)
+		}
+	}
+	st := f.Stats()
+	if st.Cycles != int64(windows) {
+		t.Fatalf("commit count %d, want one per window (%d)", st.Cycles, windows)
+	}
+	if st.Pushed != int64(next) {
+		t.Fatalf("pushed stat %d, want %d", st.Pushed, next)
+	}
+}
+
+// --- AsyncFifo SPSC contract -----------------------------------------------
+
+// TestAsyncFifoSPSCStress enforces the single-producer/single-consumer
+// contract documented on AsyncFifo: the writer side and the reader side may
+// live on different goroutines only under strict alternation with
+// happens-before handoffs (in the sharded platform, both sides of a crossing
+// live inside one shard). This test runs each side on its own goroutine with
+// a channel token ping-pong — the legal pattern — and must stay clean under
+// the race detector; note that WriterUpdate reads the reader clock's cycle
+// counter, so dropping the handoff (running the sides concurrently) is a
+// data race by construction.
+func TestAsyncFifoSPSCStress(t *testing.T) {
+	iters := 50000
+	if testing.Short() {
+		iters = 5000
+	}
+
+	k := NewKernel()
+	r := k.NewClock("r", 100)
+	f := NewAsyncFifo[int]("cdc", 8, 2, r)
+
+	var got []int
+	r.Register(&ClockedFunc{
+		OnEval: func() {
+			for f.CanPop() {
+				got = append(got, f.Pop())
+			}
+		},
+		OnUpdate: f.ReaderUpdate,
+	})
+
+	toWriter := make(chan struct{})
+	toReader := make(chan struct{})
+	done := make(chan int)
+
+	go func() { // writer side: Push / CanPush / WriterUpdate only
+		next := 0
+		for range toWriter {
+			if next%3 != 2 && f.CanPush() {
+				f.Push(next)
+				next++
+			}
+			f.WriterUpdate()
+			toReader <- struct{}{}
+		}
+		done <- next
+	}()
+	go func() { // reader side: steps the reader clock (Pop / ReaderUpdate)
+		for range toReader {
+			k.RunCycles(r, 1)
+			toWriter <- struct{}{}
+		}
+		close(done)
+	}()
+
+	toWriter <- struct{}{}
+	var pushed int
+	for i := 0; i < iters; i++ {
+		<-toWriter
+		if i == iters-1 {
+			close(toWriter)
+			pushed = <-done
+			close(toReader)
+			<-done
+		} else {
+			toWriter <- struct{}{}
+		}
+	}
+
+	if pushed == 0 {
+		t.Fatal("writer pushed nothing")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("entry %d crossed the CDC out of order (got %d)", i, v)
+		}
+	}
+	if len(got) < pushed-f.Depth() {
+		t.Fatalf("only %d of %d pushed entries crossed", len(got), pushed)
+	}
+}
+
+func TestAsyncFifoSetReaderClockPanics(t *testing.T) {
+	t.Run("non-idle", func(t *testing.T) {
+		k := NewKernel()
+		r := k.NewClock("r", 100)
+		r2 := k.NewClock("r2", 100)
+		f := NewAsyncFifo[int]("cdc", 4, 2, r)
+		f.Push(1)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetReaderClock on a non-idle async fifo must panic")
+			}
+		}()
+		f.SetReaderClock(r2)
+	})
+	t.Run("period-mismatch", func(t *testing.T) {
+		k := NewKernel()
+		r := k.NewClock("r", 100)
+		r2 := k.NewClock("r2", 200)
+		f := NewAsyncFifo[int]("cdc", 4, 2, r)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetReaderClock with a different period must panic")
+			}
+		}()
+		f.SetReaderClock(r2)
+	})
+}
+
+// TestAsyncFifoSetReaderClockRehome checks the legal rehoming: an idle FIFO
+// re-pointed at a same-period replica clock matures entries against the new
+// counter exactly as it would have against the old one.
+func TestAsyncFifoSetReaderClockRehome(t *testing.T) {
+	k1 := NewKernel()
+	r1 := k1.NewClock("central", 100)
+	f := NewAsyncFifo[int]("cdc", 4, 2, r1)
+
+	k2 := NewKernel()
+	r2 := k2.NewClockPeriodPS("central", r1.PeriodPS())
+	f.SetReaderClock(r2)
+
+	var popped []int
+	r2.Register(&ClockedFunc{
+		OnEval: func() {
+			for f.CanPop() {
+				popped = append(popped, f.Pop())
+			}
+		},
+		OnUpdate: f.ReaderUpdate,
+	})
+	f.Push(7)
+	f.WriterUpdate()
+	k2.RunCycles(r2, 5)
+	if len(popped) != 1 || popped[0] != 7 {
+		t.Fatalf("rehomed fifo delivered %v, want [7]", popped)
+	}
+}
+
+// --- ShardRunner -----------------------------------------------------------
+
+// countClocked counts Eval and Update invocations.
+type countClocked struct{ evals, updates int64 }
+
+func (c *countClocked) Eval()   { c.evals++ }
+func (c *countClocked) Update() { c.updates++ }
+
+// TestShardRunnerWindowExecution checks that RunWindow drives every kernel
+// exactly through its edges <= t, across goroutines, and that repeated
+// windows accumulate with no edge lost or duplicated.
+func TestShardRunnerWindowExecution(t *testing.T) {
+	mk := func(mhz float64) (*Kernel, *Clock, *countClocked) {
+		k := NewKernel()
+		c := k.NewClock("c", mhz)
+		cc := &countClocked{}
+		c.Register(cc)
+		return k, c, cc
+	}
+	kA, clkA, ccA := mk(100) // 10000 ps
+	kB, clkB, ccB := mk(250) // 4000 ps
+	kC, _, ccC := mk(100)
+
+	r := NewShardRunner([]*Kernel{kA, kB, kC})
+	defer r.Close()
+
+	for w := int64(1); w <= 50; w++ {
+		r.RunWindow(w * 10000)
+	}
+	if ccA.evals != 50 || ccA.updates != 50 {
+		t.Fatalf("kernel A: %d evals %d updates, want 50/50", ccA.evals, ccA.updates)
+	}
+	if ccB.evals != 125 || ccB.updates != 125 {
+		t.Fatalf("kernel B: %d evals %d updates, want 125/125 (250 MHz over 500 ns)", ccB.evals, ccB.updates)
+	}
+	if ccC.evals != 50 {
+		t.Fatalf("kernel C: %d evals, want 50", ccC.evals)
+	}
+	if clkA.Cycles() != 50 || clkB.Cycles() != 125 {
+		t.Fatalf("clock cycles A=%d B=%d, want 50/125", clkA.Cycles(), clkB.Cycles())
+	}
+}
+
+func TestShardRunnerPeekAndStepAll(t *testing.T) {
+	kA := NewKernel()
+	kA.NewClockPeriodPS("a", 7000)
+	kB := NewKernel()
+	kB.NewClockPeriodPS("b", 3000)
+
+	r := NewShardRunner([]*Kernel{kA, kB})
+	defer r.Close()
+
+	if e := r.PeekNextEdge(); e != 3000 {
+		t.Fatalf("first edge %d, want 3000", e)
+	}
+	r.StepAll(3000)
+	if e := r.PeekNextEdge(); e != 6000 {
+		t.Fatalf("after step: next edge %d, want 6000", e)
+	}
+	r.StepAll(7000)
+	if e := r.PeekNextEdge(); e != 9000 {
+		t.Fatalf("next edge %d, want 9000", e)
+	}
+
+	empty := NewShardRunner([]*Kernel{NewKernel()})
+	defer empty.Close()
+	if e := empty.PeekNextEdge(); e != -1 {
+		t.Fatalf("clockless runner peek %d, want -1", e)
+	}
+}
+
+func TestShardRunnerSingleKernelDegenerate(t *testing.T) {
+	k := NewKernel()
+	c := k.NewClock("c", 100)
+	cc := &countClocked{}
+	c.Register(cc)
+	r := NewShardRunner([]*Kernel{k})
+	r.RunWindow(100000) // runs on the caller's goroutine; no workers exist
+	if cc.evals != 10 {
+		t.Fatalf("%d evals, want 10", cc.evals)
+	}
+	r.Close()
+	r.Close() // idempotent
+}
