@@ -37,18 +37,20 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# Short coverage-guided fuzz of the binary trace decoder (seed corpus lives
-# in internal/tracecap/testdata/fuzz). Ten seconds is enough to exercise the
-# mutation engine against every validation path on each run; longer local
-# sessions just raise -fuzztime.
+# Short coverage-guided fuzz of the binary decoders (seed corpora live in
+# each package's testdata/fuzz). Ten seconds apiece is enough to exercise
+# the mutation engine against every validation path on each run; longer
+# local sessions just raise -fuzztime. Go allows one -fuzz target per
+# invocation, hence the two lines.
 fuzz-short:
 	$(GO) test ./internal/tracecap -run '^$$' -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/platform -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 
 # Perf-trajectory snapshot: benchmarks the simulator and refreshes
-# BENCH_6.json (ns/op, allocs/op, simulated cycles per second, speedup vs
+# BENCH_7.json (ns/op, allocs/op, simulated cycles per second, speedup vs
 # the frozen pre-optimization baseline, instrumentation overhead fractions,
-# serial-vs-sharded speedup). `make benchquick` is the smoke variant CI
-# runs: every benchmark once, no JSON.
+# serial-vs-sharded and checkpoint warm-start speedups). `make benchquick`
+# is the smoke variant CI runs: every benchmark once, no JSON.
 bench:
 	$(GO) run ./cmd/bench
 

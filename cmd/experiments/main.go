@@ -18,6 +18,16 @@
 // times, to be compared in shape (who wins, by what factor) against the
 // paper.
 //
+// -warm-cache DIR stops re-simulating identical warm-up prefixes across
+// invocations: the first regeneration checkpoints each full-platform
+// configuration -warm-prefix central cycles in and stores the snapshots in
+// DIR; later regenerations restore them and simulate only the remainder.
+// Checkpoint restore is bit-identical, so the tables do not change — only
+// the wall clock does:
+//
+//	experiments -warm-cache /tmp/warm fig5   # cold: primes the cache
+//	experiments -warm-cache /tmp/warm fig5   # warm: restores 5 prefixes
+//
 // `experiments ablations [variant]` runs one named ablation (messaging,
 // stbus-types, sdr-ddr, bridge-latency) or, with no variant, all of them.
 // Under `all`, a failed figure is reported on stderr and the remaining
@@ -43,6 +53,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs (1 = serial)")
 	shards := flag.Int("shards", 1, "parallel shards per simulation run (bit-identical to serial; composes with -j)")
+	warmCache := flag.String("warm-cache", "", "directory of warm-start checkpoints: full-platform runs restore their warm-up prefix from it instead of re-simulating (first run primes it; results stay byte-identical)")
+	warmPrefix := flag.Int64("warm-prefix", experiments.DefaultWarmPrefix, "warm-up prefix length in central cycles for -warm-cache")
 	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
 	prof := profiling.DefineFlags()
 	flag.Usage = func() {
@@ -66,17 +78,29 @@ func main() {
 	if !*quiet {
 		o.Progress = os.Stderr
 	}
+	if *warmCache != "" {
+		cache, err := experiments.NewSnapCache(*warmCache, *warmPrefix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		o.Cache = cache
+	}
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	if err := run(args[0], args[1:], o); err != nil {
-		stopProf()
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	runErr := run(args[0], args[1:], o)
+	stopProf()
+	if o.Cache != nil {
+		fmt.Fprintf(os.Stderr, "warm-start: %d runs restored from cache, %d primed it\n",
+			o.Cache.Hits(), o.Cache.Misses())
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
-	stopProf()
 }
 
 func run(which string, rest []string, o experiments.Options) error {

@@ -35,6 +35,18 @@
 //	mpsocsim -attr -report run.json
 //	mpsocsim -attr-top 5
 //
+// Checkpoint/restore cuts a long run in two (or forks many runs off one
+// warm-up prefix): -checkpoint-at N -checkpoint FILE snapshots the complete
+// platform state at central cycle N and then finishes the run as usual, and
+// -restore FILE resumes a later invocation from that snapshot instead of
+// re-simulating the prefix. The restored run is bit-identical to an
+// uninterrupted one — same report, same trace, same attribution — and may
+// still be sharded with -shards. The observability configuration (capture,
+// timelines, attribution) travels inside the checkpoint:
+//
+//	mpsocsim -checkpoint-at 8000 -checkpoint warm.ckpt -report cold.json
+//	mpsocsim -restore warm.ckpt -report warm.json   # identical modulo resumed_from_cycle
+//
 // Exit status: 0 on a drained run, 2 when the run deadlocked (the progress
 // watchdog saw no transaction move), 3 when the simulated-time budget ran
 // out first, 1 on usage or I/O errors.
@@ -86,6 +98,9 @@ func main() {
 	attrOn := flag.Bool("attr", false, "enable per-transaction latency attribution (adds the report's attribution section and the Chrome-trace phase sub-slices)")
 	attrTop := flag.Int("attr-top", 0, "print the top-N initiators by attributed latency, with their dominant phase, to stderr (implies -attr)")
 	shards := flag.Int("shards", 1, "run clock domains on N parallel shards (bit-identical to serial; incompatible with -trace/-vcd)")
+	checkpointFile := flag.String("checkpoint", "", "write a full-state checkpoint to this file at -checkpoint-at, then finish the run")
+	checkpointAt := flag.Int64("checkpoint-at", 0, "central-clock cycle to take the -checkpoint at (> 0)")
+	restoreFile := flag.String("restore", "", "resume from a checkpoint written by -checkpoint instead of simulating the prefix (spec flags must rebuild the same platform; observability travels with the checkpoint)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -161,36 +176,92 @@ func main() {
 		spec.ReplayMode = mode
 	}
 
-	p, err := platform.Build(spec)
-	if err != nil {
-		fatalf("build: %v", err)
-	}
+	budget := int64(*budgetMS * 1e9)
+	var p *platform.Platform
 	var sampler *trace.Sampler
-	if *traceFile != "" || *vcdFile != "" {
-		sampler = trace.NewSampler(1 << 22)
-		p.AttachSampler(sampler, *tracePeriod)
-	}
 	var capture *tracecap.Capture
-	if *captureFile != "" || *chromeFile != "" {
-		capture = tracecap.NewCapture(spec.Name(), 0)
-		p.AttachCapture(capture)
-	}
-	if *reportFile != "" || *chromeFile != "" {
-		// Timelines feed the report's series and the Chrome counter
-		// tracks; the ring storage is preallocated here, before Run.
-		p.EnableTimelines(*sampleEvery, 0)
-	}
-	if *attrTop > 0 {
-		*attrOn = true
-	}
-	if *attrOn {
-		// Retention (the per-transaction phase log behind the Chrome-trace
-		// sub-slices) is only paid for when a trace will be written.
-		retain := 0
-		if *chromeFile != "" {
-			retain = 4096
+	if *restoreFile != "" {
+		// The checkpoint carries the observability configuration: Restore
+		// re-applies capture/timelines/attribution as they were at snapshot
+		// time, so the CLI's own enable flags do not apply here. The CSV/VCD
+		// sampler cannot checkpoint at all.
+		if *checkpointFile != "" || *checkpointAt != 0 {
+			fatalf("-restore is mutually exclusive with -checkpoint/-checkpoint-at")
 		}
-		p.EnableAttribution(retain)
+		if *traceFile != "" || *vcdFile != "" {
+			fatalf("-restore is incompatible with -trace/-vcd (the waveform sampler cannot checkpoint)")
+		}
+		f, err := os.Open(*restoreFile)
+		if err != nil {
+			fatalf("restore: %v", err)
+		}
+		p, err = platform.Restore(spec, f)
+		f.Close()
+		if err != nil {
+			fatalf("restore: %v", err)
+		}
+		capture = p.Capture()
+		if (*captureFile != "" || *chromeFile != "") && capture == nil {
+			fatalf("checkpoint %s was taken without transaction capture; re-checkpoint a run that had -capture or -chrome-trace", *restoreFile)
+		}
+		fmt.Fprintf(os.Stderr, "restored %s at central cycle %d\n", *restoreFile, p.ResumedCycles())
+	} else {
+		var err error
+		p, err = platform.Build(spec)
+		if err != nil {
+			fatalf("build: %v", err)
+		}
+		if *traceFile != "" || *vcdFile != "" {
+			sampler = trace.NewSampler(1 << 22)
+			p.AttachSampler(sampler, *tracePeriod)
+		}
+		if *captureFile != "" || *chromeFile != "" {
+			capture = tracecap.NewCapture(spec.Name(), 0)
+			p.AttachCapture(capture)
+		}
+		if *reportFile != "" || *chromeFile != "" {
+			// Timelines feed the report's series and the Chrome counter
+			// tracks; the ring storage is preallocated here, before Run.
+			p.EnableTimelines(*sampleEvery, 0)
+		}
+		if *attrTop > 0 {
+			*attrOn = true
+		}
+		if *attrOn {
+			// Retention (the per-transaction phase log behind the Chrome-trace
+			// sub-slices) is only paid for when a trace will be written.
+			retain := 0
+			if *chromeFile != "" {
+				retain = 4096
+			}
+			p.EnableAttribution(retain)
+		}
+	}
+	if *checkpointFile != "" || *checkpointAt != 0 {
+		// Checkpoint before sharding: Snapshot requires the serial platform
+		// (a later -restore can still re-shard the remainder).
+		if *checkpointFile == "" || *checkpointAt <= 0 {
+			fatalf("-checkpoint FILE and -checkpoint-at N (> 0) must be given together")
+		}
+		if sampler != nil {
+			fatalf("-checkpoint is incompatible with -trace/-vcd (the waveform sampler cannot checkpoint)")
+		}
+		if p.RunToCycle(*checkpointAt, budget) {
+			f, err := os.Create(*checkpointFile)
+			if err != nil {
+				fatalf("checkpoint: %v", err)
+			}
+			err = p.Snapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatalf("checkpoint: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s at central cycle %d\n", *checkpointFile, p.CentralClk.Cycles())
+		} else {
+			fmt.Fprintf(os.Stderr, "mpsocsim: warning: run ended before cycle %d; no checkpoint written\n", *checkpointAt)
+		}
 	}
 	if *shards > 1 {
 		// Last: sharding freezes the component-to-shard assignment, so every
@@ -199,7 +270,7 @@ func main() {
 			fatalf("shards: %v", err)
 		}
 	}
-	r := p.Run(int64(*budgetMS * 1e9))
+	r := p.Run(budget)
 	if err := r.WriteSummary(os.Stdout); err != nil {
 		fatalf("report: %v", err)
 	}

@@ -1,0 +1,224 @@
+package attr
+
+import "mpsocsim/internal/snapshot"
+
+// Checkpoint codecs (DESIGN.md §16). A Record travels with its transaction
+// and may be shared between an upstream request and a bridge's downstream
+// clone, so records serialize through the snapshot's shared-object table:
+// the first encounter emits the body, later encounters a reference, and the
+// decode side re-materializes each record once from the collector's free
+// list — pointer sharing is preserved exactly.
+
+// Wire markers for EncodeRecordRef.
+const (
+	recNil   = 0
+	recBody  = 1
+	recRefs  = 2 // recRefs+idx references a previously decoded record
+	maxSlots = 1 << 16
+)
+
+// EncodeRecordRef serializes a (possibly nil, possibly shared) record
+// pointer.
+func EncodeRecordRef(e *snapshot.Encoder, r *Record) {
+	if r == nil {
+		e.U(recNil)
+		return
+	}
+	idx, first := e.Ref(r)
+	if !first {
+		e.U(recRefs + idx)
+		return
+	}
+	e.U(recBody)
+	e.I(int64(r.slot))
+	e.U(uint64(r.n))
+	e.U(uint64(r.overflows))
+	e.Bool(r.write)
+	e.Bool(r.posted)
+	e.I(r.startPS)
+	for i := int32(0); i < r.n; i++ {
+		e.U(uint64(r.phases[i]))
+		e.I(r.starts[i])
+	}
+}
+
+// DecodeRecordRef restores a record pointer serialized by EncodeRecordRef,
+// materializing first encounters from the collector's free list.
+func DecodeRecordRef(d *snapshot.Decoder, c *Collector) *Record {
+	tag := d.U()
+	if d.Err() != nil || tag == recNil {
+		return nil
+	}
+	if tag >= recRefs {
+		r, _ := d.Ref(tag - recRefs).(*Record)
+		if r == nil {
+			d.Corrupt("record reference %d is not a record", tag-recRefs)
+		}
+		return r
+	}
+	if c == nil {
+		d.Corrupt("in-flight attribution record in a snapshot without attribution enabled")
+		return nil
+	}
+	r := c.take()
+	d.AddRef(r)
+	slot := d.I()
+	if slot < -1 || slot >= int64(len(c.slots)) {
+		d.Corrupt("record slot %d out of range (collector has %d)", slot, len(c.slots))
+		return nil
+	}
+	r.slot = int32(slot)
+	n := d.N(MaxSegments)
+	if n < 1 {
+		d.Corrupt("record with empty segment log")
+		return nil
+	}
+	r.n = int32(n)
+	r.overflows = int32(d.N(1 << 30))
+	r.write = d.Bool()
+	r.posted = d.Bool()
+	r.startPS = d.I()
+	for i := 0; i < n; i++ {
+		ph := d.N(NumPhases - 1)
+		r.phases[i] = Phase(ph)
+		r.starts[i] = d.I()
+	}
+	return r
+}
+
+// take pops a free record (growing like Start does when exhausted) without
+// any lifecycle bookkeeping; restore-only.
+func (c *Collector) take() *Record {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return r
+	}
+	chunk := make([]Record, growChunk)
+	for i := 1; i < growChunk; i++ {
+		c.free = append(c.free, &chunk[i])
+	}
+	c.grown += growChunk
+	return &chunk[0]
+}
+
+// EncodeState serializes the collector's accumulated matrices and counters.
+// Slot names/origins are build-time structure, re-derived from the spec; the
+// slot count guards shape.
+func (c *Collector) EncodeState(e *snapshot.Encoder) {
+	e.Tag('C')
+	e.U(uint64(len(c.slots)))
+	for _, s := range c.slots {
+		s.e2e.EncodeState(e)
+		for ph := range s.phase {
+			s.phase[ph].EncodeState(e)
+		}
+	}
+	e.I(c.grown)
+	e.I(c.started)
+	e.I(c.finished)
+	e.I(c.unknownOrigin)
+	e.I(c.overflowedTxns)
+	if c.retained == nil {
+		e.U(0)
+		return
+	}
+	e.U(uint64(len(c.retained)))
+	e.I(c.retN)
+	kept := c.retN
+	if kept > int64(len(c.retained)) {
+		kept = int64(len(c.retained))
+	}
+	start := 0
+	if c.retN > int64(len(c.retained)) {
+		start = c.retHead
+	}
+	for i := int64(0); i < kept; i++ {
+		t := &c.retained[(start+int(i))%len(c.retained)]
+		e.I(int64(t.Origin))
+		e.Bool(t.Write)
+		e.Bool(t.Posted)
+		e.I(t.StartPS)
+		e.I(t.EndPS)
+		e.U(uint64(t.N))
+		for j := 0; j < t.N; j++ {
+			e.U(uint64(t.Phases[j]))
+			e.I(t.Starts[j])
+		}
+	}
+}
+
+// DecodeState restores a collector serialized by EncodeState. The receiver
+// must have the same slot registrations and retention configuration.
+func (c *Collector) DecodeState(d *snapshot.Decoder) {
+	d.Tag('C')
+	ns := d.N(maxSlots)
+	if d.Err() != nil {
+		return
+	}
+	if ns != len(c.slots) {
+		d.Corrupt("collector slot count %d does not match platform's %d", ns, len(c.slots))
+		return
+	}
+	for _, s := range c.slots {
+		s.e2e.DecodeState(d)
+		for ph := range s.phase {
+			s.phase[ph].DecodeState(d)
+		}
+	}
+	c.grown = d.I()
+	c.started = d.I()
+	c.finished = d.I()
+	c.unknownOrigin = d.I()
+	c.overflowedTxns = d.I()
+	ringLen := d.N(1 << 24)
+	if d.Err() != nil {
+		return
+	}
+	if ringLen == 0 {
+		if c.retained != nil {
+			d.Corrupt("snapshot has no retention ring but the platform enabled one")
+		}
+		return
+	}
+	if c.retained == nil || len(c.retained) != ringLen {
+		d.Corrupt("retention ring length %d does not match platform's %d", ringLen, len(c.retained))
+		return
+	}
+	c.retN = d.I()
+	kept := c.retN
+	if kept > int64(ringLen) {
+		kept = int64(ringLen)
+	}
+	if kept < 0 {
+		d.Corrupt("negative retained count %d", c.retN)
+		return
+	}
+	// Re-pack oldest-first from ring origin zero; Retained() ordering is
+	// invariant under the re-packing.
+	for i := range c.retained {
+		c.retained[i] = RetainedTx{}
+	}
+	for i := int64(0); i < kept; i++ {
+		t := &c.retained[i]
+		t.Origin = int(d.I())
+		t.Write = d.Bool()
+		t.Posted = d.Bool()
+		t.StartPS = d.I()
+		t.EndPS = d.I()
+		t.N = d.N(MaxSegments)
+		for j := 0; j < t.N; j++ {
+			t.Phases[j] = Phase(d.N(NumPhases - 1))
+			t.Starts[j] = d.I()
+		}
+		if d.Err() != nil {
+			return
+		}
+	}
+	if c.retN > int64(ringLen) {
+		c.retHead = 0
+	} else {
+		c.retHead = int(c.retN) % ringLen
+	}
+}

@@ -402,6 +402,10 @@ func (b *Bridge) drainGlobalOrder() {
 				rec.Enter(attr.PhaseRespReturn, b.srcClk.NowPS())
 			}
 			b.emitQ = append(b.emitQ, bus.Beat{Req: head.up, Idx: 0, Last: true})
+			// The ack returns `up` to the initiator while this context may
+			// outlive it in byDown until the downstream ack arrives (see
+			// retireWrite).
+			head.up = nil
 		}
 		if !head.complete {
 			break
@@ -439,6 +443,12 @@ func (b *Bridge) finishRead(ctx *reqCtx) {
 	}
 	delete(b.byDown, ctx.down)
 	b.pool.Put(ctx.down)
+	// Every upstream beat is already emitted (the initiator owns `up` again
+	// and may recycle it) and the downstream clone just went back to the
+	// pool; the context can linger in an ordering queue, so both pointers
+	// must go with the ownership (see retireWrite).
+	ctx.up = nil
+	ctx.down = nil
 	if !b.cfg.InOrderUpstream {
 		b.drainSrcOrder(ctx.src)
 	}
@@ -459,6 +469,7 @@ func (b *Bridge) drainSrcOrder(src int) {
 				rec.Enter(attr.PhaseRespReturn, b.srcClk.NowPS())
 			}
 			b.emitQ = append(b.emitQ, bus.Beat{Req: head.up, Idx: 0, Last: true})
+			head.up = nil // see retireWrite: the initiator owns it again
 		}
 		if !head.finished {
 			break
@@ -531,6 +542,11 @@ func (b *Bridge) acceptRequests() {
 					rec.Enter(attr.PhaseRespReturn, b.srcClk.NowPS())
 				}
 				b.emitQ = append(b.emitQ, bus.Beat{Req: up, Idx: 0, Last: true})
+				// The ack hands the upstream request back to the
+				// initiator, which may recycle it while this context
+				// still sits in the delay line — drop the pointer with
+				// the obligation (see retireWrite).
+				ctx.up = nil
 			}
 		}
 	} else {
@@ -719,11 +735,18 @@ func (b *Bridge) retireWrite(ctx *reqCtx, postedForward bool) {
 		b.outstanding--
 	}
 	delete(b.byDown, ctx.down)
+	// Clear the pointers alongside the ownership handoff: a context can
+	// outlive this retirement in an ordering queue, and a dangling pointer
+	// to a recycled (or downstream-owned) request, while never dereferenced
+	// again, would leak a dead object into a checkpoint (DESIGN.md §16).
 	if postedForward {
 		ctx.finished = true // a posted write has no upstream obligations
 		b.pool.Put(ctx.up)
+		ctx.up = nil
+		ctx.down = nil // live downstream; its consumer owns it now
 	} else {
 		b.pool.Put(ctx.down)
+		ctx.down = nil
 	}
 	b.maybeRelease(ctx)
 }

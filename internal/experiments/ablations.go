@@ -34,7 +34,7 @@ func AblationMessaging(o Options) (AblationMessagingResult, error) {
 				s.LMI.LookaheadDepth = 0
 				s.LMI.OpcodeMerging = false
 			}
-			jobs = append(jobs, cycleJob(fmt.Sprintf("msg=%v/opt=%v", msg, opt), s, o.Shards))
+			jobs = append(jobs, cycleJob(fmt.Sprintf("msg=%v/opt=%v", msg, opt), s, o))
 		}
 	}
 	cycles, err := runner.Values(runner.Map(jobs, o.pool("ablation-messaging")))
@@ -86,7 +86,7 @@ func AblationSTBusTypes(o Options) (Series, error) {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 		s.STBusType = t
-		return cycleJob(name, s, o.Shards)
+		return cycleJob(name, s, o)
 	}
 	cycles, err := runner.Values(runner.Map([]runner.Job[int64]{
 		mk("Type 3", stbus.Type3),
@@ -120,7 +120,7 @@ func AblationSDRvsDDR(o Options) (Series, error) {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 		s.LMI.SDRAM.DDR = ddr
-		return cycleJob(name, s, o.Shards)
+		return cycleJob(name, s, o)
 	}
 	cycles, err := runner.Values(runner.Map([]runner.Job[int64]{
 		mk("DDR", true),
@@ -165,7 +165,7 @@ func BridgeLatencySweep(o Options, latencies []int) (AblationBridgeLatency, erro
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 		s.BridgeLatency = lat
-		jobs = append(jobs, cycleJob(fmt.Sprintf("latency %d", lat), s, o.Shards))
+		jobs = append(jobs, cycleJob(fmt.Sprintf("latency %d", lat), s, o))
 	}
 	cycles, err := runner.Values(runner.Map(jobs, o.pool("ablation-bridge-latency")))
 	if err != nil {

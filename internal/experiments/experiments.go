@@ -46,6 +46,12 @@ type Options struct {
 	// Progress, when non-nil, receives the runner's live progress/ETA
 	// line (the CLI passes os.Stderr; tests leave it nil).
 	Progress io.Writer
+	// Cache, when non-nil, warm-starts every full-platform run from an
+	// on-disk checkpoint of its warm-up prefix (priming the cache on the
+	// first encounter of each configuration). Results are bit-identical
+	// with or without it; only wall-clock changes. Single-layer §4.1 runs
+	// are too short to checkpoint and always run cold.
+	Cache *SnapCache
 }
 
 func (o *Options) normalize() {
@@ -121,14 +127,24 @@ func buildPlatform(spec platform.Spec, shards int) (*platform.Platform, error) {
 
 // platformJob wraps one full-platform run as a runner job. A run that
 // fails to drain within the budget is an error, not a panic: under the
-// runner one crashed configuration must not kill its siblings.
-func platformJob(name string, spec platform.Spec, shards int) runner.Job[platform.Result] {
+// runner one crashed configuration must not kill its siblings. With a
+// warm-start cache the job restores (or primes) the configuration's
+// warm-up checkpoint instead of building fresh.
+func platformJob(name string, spec platform.Spec, o Options) runner.Job[platform.Result] {
 	return runner.Job[platform.Result]{Name: name, Run: func() (platform.Result, error) {
-		p, err := buildPlatform(spec, shards)
+		var r platform.Result
+		var err error
+		if o.Cache != nil {
+			r, err = o.Cache.run(spec, o.Shards)
+		} else {
+			var p *platform.Platform
+			if p, err = buildPlatform(spec, o.Shards); err == nil {
+				r = p.Run(Budget)
+			}
+		}
 		if err != nil {
 			return platform.Result{}, err
 		}
-		r := p.Run(Budget)
 		if !r.Done {
 			return r, fmt.Errorf("%s did not drain within budget", spec.Name())
 		}
@@ -137,8 +153,8 @@ func platformJob(name string, spec platform.Spec, shards int) runner.Job[platfor
 }
 
 // cycleJob is platformJob reduced to the run's central-cycle count.
-func cycleJob(name string, spec platform.Spec, shards int) runner.Job[int64] {
-	inner := platformJob(name, spec, shards)
+func cycleJob(name string, spec platform.Spec, o Options) runner.Job[int64] {
+	inner := platformJob(name, spec, o)
 	return runner.Job[int64]{Name: name, Run: func() (int64, error) {
 		r, err := inner.Run()
 		return r.CentralCycles, err
@@ -174,7 +190,7 @@ func Fig3(o Options) (Series, error) {
 	mk := func(name string, proto platform.Protocol, topo platform.Topology) runner.Job[int64] {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = proto, topo, platform.OnChip
-		return cycleJob(name, s, o.Shards)
+		return cycleJob(name, s, o)
 	}
 	jobs := []runner.Job[int64]{
 		mk("collapsed AXI", platform.AXI, platform.Collapsed),
@@ -236,7 +252,7 @@ func Fig4(o Options, waitStates []int) (Fig4Result, error) {
 			s.OnChipWaitStates = w
 			s.OutstandingOverride = 1
 			s.ForceNonPostedWrites = true
-			jobs = append(jobs, cycleJob(fmt.Sprintf("%dws/%s", w, topo), s, o.Shards))
+			jobs = append(jobs, cycleJob(fmt.Sprintf("%dws/%s", w, topo), s, o))
 		}
 	}
 	cycles, err := runner.Values(runner.Map(jobs, o.pool("fig4")))
@@ -283,7 +299,7 @@ func Fig5(o Options) (Series, error) {
 		s := baseSpec(o)
 		s.Protocol, s.Topology, s.Memory = proto, topo, platform.LMIDDR
 		s.SplitLMIBridge = split
-		return cycleJob(name, s, o.Shards)
+		return cycleJob(name, s, o)
 	}
 	jobs := []runner.Job[int64]{
 		mk("distributed STBus", platform.STBus, platform.Distributed, false),
@@ -339,8 +355,8 @@ func Fig6(o Options) (Fig6Report, error) {
 	sa.Protocol = platform.AHB
 
 	results, err := runner.Values(runner.Map([]runner.Job[platform.Result]{
-		platformJob("stbus two-phase", s, o.Shards),
-		platformJob("ahb rerun", sa, o.Shards),
+		platformJob("stbus two-phase", s, o),
+		platformJob("ahb rerun", sa, o),
 	}, o.pool("fig6")))
 	if err != nil {
 		return Fig6Report{}, err

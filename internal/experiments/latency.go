@@ -25,7 +25,7 @@ func Latency(o Options) (LatencyReport, error) {
 	s := baseSpec(o)
 	s.Protocol, s.Topology, s.Memory = platform.STBus, platform.Distributed, platform.LMIDDR
 	r, err := runner.First(runner.Map([]runner.Job[platform.Result]{
-		platformJob("reference platform", s, o.Shards),
+		platformJob("reference platform", s, o),
 	}, o.pool("latency")))
 	if err != nil {
 		return LatencyReport{}, err

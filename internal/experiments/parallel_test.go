@@ -99,7 +99,7 @@ func TestPlatformJobReportsBuildErrors(t *testing.T) {
 	s := platform.DefaultSpec()
 	s.Memory = platform.MemoryKind(99)
 	_, err := runner.First(runner.Map([]runner.Job[platform.Result]{
-		platformJob("bad-spec", s, 1),
+		platformJob("bad-spec", s, Options{}),
 	}, runner.Options{Workers: 2}))
 	if err == nil || !strings.Contains(err.Error(), "bad-spec") {
 		t.Fatalf("want named job error, got %v", err)

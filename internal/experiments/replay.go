@@ -93,7 +93,7 @@ func CrossFabricReplay(o Options) (ReplayResult, error) {
 		s := base
 		s.Protocol = v.proto
 		s.Replay = tr
-		jobs = append(jobs, platformJob(v.name, s, o.Shards))
+		jobs = append(jobs, platformJob(v.name, s, o))
 	}
 	results, err := runner.Values(runner.Map(jobs, o.pool("replay")))
 	if err != nil {

@@ -1,0 +1,40 @@
+package mem
+
+import (
+	"mpsocsim/internal/attr"
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/snapshot"
+)
+
+// EncodeState serializes the memory's mutable state (DESIGN.md §16): the
+// owned target port, the in-flight transaction and the lifetime counters.
+func (m *Memory) EncodeState(e *snapshot.Encoder) {
+	e.Tag('M')
+	bus.EncodeTargetPortState(e, m.port)
+	bus.EncodeReqRef(e, m.cur)
+	e.I(int64(m.beatIdx))
+	e.I(int64(m.waitLeft))
+	e.I(m.reads)
+	e.I(m.writes)
+	e.I(m.beats)
+	e.I(m.busyCycles)
+	e.I(m.totalCycles)
+	e.I(m.acceptedPosted)
+	e.I(m.stalledRespPush)
+}
+
+// DecodeState restores a memory serialized by EncodeState.
+func (m *Memory) DecodeState(d *snapshot.Decoder, col *attr.Collector) {
+	d.Tag('M')
+	bus.DecodeTargetPortState(d, m.port, col)
+	m.cur = bus.DecodeReqRef(d, col)
+	m.beatIdx = int(d.I())
+	m.waitLeft = int(d.I())
+	m.reads = d.I()
+	m.writes = d.I()
+	m.beats = d.I()
+	m.busyCycles = d.I()
+	m.totalCycles = d.I()
+	m.acceptedPosted = d.I()
+	m.stalledRespPush = d.I()
+}

@@ -106,8 +106,36 @@ type Platform struct {
 	// timeline-trigger state, kept so sharded assembly can replace the
 	// single cross-domain trigger with per-shard equivalents.
 	timelineEvery   int64
+	timelineCap     int
 	timelineTrigger *sim.ClockedFunc
 	samplerClocks   []*sim.Clock
+	// timelineLeft is the live countdown to the next sampling instant. A
+	// Platform field (not a closure variable) so checkpoint/restore can
+	// carry it: a restored run must sample at exactly the instants the
+	// uninterrupted run would.
+	timelineLeft int64
+
+	// attrRetain remembers the retention depth EnableAttribution was called
+	// with, so a snapshot can re-enable attribution identically on restore.
+	attrRetain int
+
+	// capture is the attached trace capture (nil unless AttachCapture was
+	// called); retained so snapshots can carry the recorded streams.
+	capture *tracecap.Capture
+
+	// Progress-watchdog state, shared by the serial and sharded run loops.
+	// Fields (not run-loop locals) so a checkpointed run resumes with the
+	// same observation history — stall detection after restore fires at
+	// exactly the instants an uninterrupted run would. Build initializes
+	// wdLastProg to -1 (no observation yet).
+	wdLastProg  int64
+	wdLastCheck int64
+
+	// resumedPS/resumedCycles mark the restore point (zero for a fresh
+	// Build). EnableSharding's pre-run guard and Result.ResumedFromCycle
+	// read them.
+	resumedPS     int64
+	resumedCycles int64
 
 	// sharded-run state (nil/zero until EnableSharding).
 	shardKernels  []*sim.Kernel
@@ -168,9 +196,10 @@ type instrumented interface {
 func Build(spec Spec) (*Platform, error) {
 	spec.normalize()
 	p := &Platform{
-		Spec:    spec,
-		Kernel:  sim.NewKernel(),
-		bridges: map[string]*bridge.Bridge{},
+		Spec:       spec,
+		Kernel:     sim.NewKernel(),
+		bridges:    map[string]*bridge.Bridge{},
+		wdLastProg: -1,
 	}
 	p.CentralClk = p.Kernel.NewClock("central", CentralMHz)
 	p.centralFab = p.newFabric("n8")
@@ -267,14 +296,15 @@ func (p *Platform) EnableTimelines(every int64, capSamples int) {
 		p.samplers = append(p.samplers, s)
 	}
 	p.timelineEvery = every
+	p.timelineCap = capSamples
 	p.samplerClocks = append([]*sim.Clock(nil), clocks...)
-	left := every
+	p.timelineLeft = every
 	p.timelineTrigger = &sim.ClockedFunc{OnEval: func() {
-		left--
-		if left > 0 {
+		p.timelineLeft--
+		if p.timelineLeft > 0 {
 			return
 		}
-		left = every
+		p.timelineLeft = every
 		for i, s := range p.samplers {
 			s.Sample(clocks[i].Cycles())
 		}
@@ -323,6 +353,7 @@ func (p *Platform) EnableAttribution(retain int) *attr.Collector {
 	if retain > 0 {
 		col.EnableRetention(retain)
 	}
+	p.attrRetain = retain
 	clocks := map[string]*sim.Clock{}
 	for _, clk := range p.Kernel.Clocks() {
 		clocks[clk.Name()] = clk
@@ -570,7 +601,12 @@ func (p *Platform) AttachCapture(c *tracecap.Capture) {
 	for i, g := range p.gens {
 		g.Port().Probe = c.Probe(g.Name(), p.genClk[i].PeriodPS())
 	}
+	p.capture = c
 }
+
+// Capture returns the attached trace capture (nil unless AttachCapture was
+// called).
+func (p *Platform) Capture() *tracecap.Capture { return p.capture }
 
 // buildDSP adds the ST220-class core behind its upsize (32->64 bit) and
 // frequency (400->250 MHz) converter.

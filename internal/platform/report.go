@@ -69,6 +69,11 @@ type Report struct {
 	Stalled        bool                         `json:"stalled,omitempty"`
 	ExecPS         int64                        `json:"exec_ps"`
 	CentralCycles  int64                        `json:"central_cycles"`
+	// ResumedFromCycle is the central-clock cycle the run was restored from
+	// a checkpoint at; absent for a run started from scratch. Additive to
+	// report/2 — every other field keeps its meaning (cumulative figures
+	// still cover the whole run from cycle 0).
+	ResumedFromCycle int64 `json:"resumed_from_cycle,omitempty"`
 	Issued         int64                        `json:"issued"`
 	Completed      int64                        `json:"completed"`
 	TotalBytes     int64                        `json:"total_bytes"`
@@ -120,8 +125,9 @@ func (r Result) Report() Report {
 		Spec:           sr,
 		Done:           r.Done,
 		Stalled:        r.Stalled,
-		ExecPS:         r.ExecPS,
-		CentralCycles:  r.CentralCycles,
+		ExecPS:           r.ExecPS,
+		CentralCycles:    r.CentralCycles,
+		ResumedFromCycle: r.ResumedFromCycle,
 		Issued:         r.Issued,
 		Completed:      r.Completed,
 		TotalBytes:     r.TotalBytes,

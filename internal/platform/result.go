@@ -26,6 +26,11 @@ type Result struct {
 	// same expressed in central-node cycles.
 	ExecPS        int64
 	CentralCycles int64
+	// ResumedFromCycle is the central-clock cycle the platform was restored
+	// at (0 for a run started from a fresh Build). All cumulative figures —
+	// cycles, transactions, histograms — still cover the whole run from
+	// cycle 0: a restored run carries the prefix's state with it.
+	ResumedFromCycle int64
 
 	Issued    int64
 	Completed int64
@@ -64,8 +69,26 @@ func (p *Platform) Run(maxPS int64) Result {
 	if p.sharded {
 		return p.runSharded(maxPS)
 	}
-	// Completion is defined by the IP traffic draining; the DSP is
-	// background interference and never gates the run.
+	drained, stalled, _ := p.runSerial(maxPS, -1)
+	r := p.collect(drained)
+	r.Stalled = stalled
+	return r
+}
+
+// stallWindow is the progress watchdog's observation window in central
+// cycles. It is generous: the slowest legitimate configurations move at
+// least one transaction every few thousand central cycles.
+const stallWindow = 200_000
+
+// runSerial is the serial run loop, shared by Run and RunToCycle. It steps
+// the kernel until the workload drains (completion is defined by the IP
+// traffic draining; the DSP is background interference and never gates the
+// run), maxPS elapses, the watchdog detects a stall, or — when stopAtCycle
+// is >= 0 — the central clock completes stopAtCycle cycles (the checkpoint
+// instant; paused reports that exit). The watchdog history lives in Platform
+// fields, so a run split across checkpoint/restore observes progress at
+// exactly the instants an uninterrupted run would.
+func (p *Platform) runSerial(maxPS, stopAtCycle int64) (drained, stalled, paused bool) {
 	pending := func() bool {
 		for _, g := range p.gens {
 			if !g.Done() {
@@ -81,46 +104,51 @@ func (p *Platform) Run(maxPS int64) Result {
 		}
 		return n
 	}
-	// stallWindow is generous: the slowest legitimate configurations move
-	// at least one transaction every few thousand central cycles.
-	const stallWindow = 200_000
-	lastProg := int64(-1)
-	lastCheck := int64(0)
-	done := true
-	stalled := false
 	for pending() {
+		if stopAtCycle >= 0 && p.CentralClk.Cycles() >= stopAtCycle {
+			return false, false, true
+		}
 		if p.Kernel.Now() >= maxPS {
-			done = false
-			break
+			return false, false, false
 		}
 		if !p.Kernel.Step() {
-			done = false
-			break
+			return false, false, false
 		}
-		if c := p.CentralClk.Cycles(); c-lastCheck >= stallWindow {
-			if prog := progress(); prog == lastProg {
-				done = false
-				stalled = true
-				break
-			} else {
-				lastProg = prog
+		if c := p.CentralClk.Cycles(); c-p.wdLastCheck >= stallWindow {
+			prog := progress()
+			if prog == p.wdLastProg {
+				return false, true, false
 			}
-			lastCheck = c
+			p.wdLastProg = prog
+			p.wdLastCheck = c
 		}
 	}
-	r := p.collect(done)
-	r.Stalled = stalled
-	return r
+	return true, false, false
+}
+
+// RunToCycle steps the serial platform until the central clock completes at
+// least `cycle` cycles, pausing at the first edge boundary past it — the
+// quiescent instant to call Snapshot at. It returns true when the run paused
+// with work remaining; false means the workload drained, the budget ran out
+// or the watchdog fired before the checkpoint instant (finish with Run). Not
+// supported on a sharded platform.
+func (p *Platform) RunToCycle(cycle, maxPS int64) bool {
+	if p.sharded {
+		panic("platform: RunToCycle requires serial mode (checkpoint before EnableSharding)")
+	}
+	_, _, paused := p.runSerial(maxPS, cycle)
+	return paused
 }
 
 func (p *Platform) collect(done bool) Result {
 	r := Result{
-		Spec:          p.Spec,
-		Done:          done,
-		ExecPS:        p.Kernel.Now(),
-		CentralCycles: p.CentralClk.Cycles(),
-		IPs:           map[string][]iptg.AgentStats{},
-		Bridges:       map[string]bridge.Stats{},
+		Spec:             p.Spec,
+		Done:             done,
+		ExecPS:           p.Kernel.Now(),
+		CentralCycles:    p.CentralClk.Cycles(),
+		ResumedFromCycle: p.resumedCycles,
+		IPs:              map[string][]iptg.AgentStats{},
+		Bridges:          map[string]bridge.Stats{},
 	}
 	for _, g := range p.gens {
 		as := g.Stats()

@@ -43,7 +43,7 @@ func (p *Platform) EnableSharding(n int) error {
 	if p.sharded {
 		return fmt.Errorf("platform: sharding already enabled")
 	}
-	if p.Kernel.Now() != 0 || p.CentralClk.Cycles() != 0 {
+	if p.Kernel.Now() != p.resumedPS || p.CentralClk.Cycles() != p.resumedCycles {
 		return fmt.Errorf("platform: EnableSharding must be called before the run starts")
 	}
 	if p.samplerAttached {
@@ -126,6 +126,10 @@ func (p *Platform) EnableSharding(n int) error {
 	kernels[0].AdoptClock(p.CentralClk)
 	for i := 1; i < eff; i++ {
 		central[i] = kernels[i].NewClockPeriodPS("central", p.CentralClk.PeriodPS())
+		// On a checkpoint-restored platform the real central clock is
+		// mid-run; replicas must agree on the completed-cycle count so all
+		// central domains keep ticking in lockstep.
+		central[i].SeedCycles(p.CentralClk.Cycles())
 	}
 	for _, c := range clocks[1:] {
 		kernels[shardOf[c.Name()]].AdoptClock(c)
@@ -161,7 +165,12 @@ func (p *Platform) EnableSharding(n int) error {
 				continue
 			}
 			every := p.timelineEvery
-			left := every
+			// Seed each shard's countdown from the live serial countdown:
+			// p.timelineLeft is `every` for a fresh platform and the
+			// restored mid-window value after a checkpoint restore. All
+			// central clocks tick in lockstep, so the per-shard countdowns
+			// stay synchronized from that common seed.
+			left := p.timelineLeft
 			central[s].Register(&sim.ClockedFunc{OnEval: func() {
 				left--
 				if left > 0 {
@@ -259,7 +268,9 @@ func (p *Platform) newShardExec() *shardExec {
 		p:      p,
 		runner: sim.NewShardRunner(p.shardKernels),
 		period: p.CentralClk.PeriodPS(),
-		next:   p.CentralClk.PeriodPS(),
+		// The first barrier is the next central edge — period for a fresh
+		// platform, mid-run for a checkpoint-restored one.
+		next: p.CentralClk.NowPS(),
 	}
 }
 
@@ -332,28 +343,27 @@ func (p *Platform) runSharded(maxPS int64) Result {
 		return n
 	}
 
-	// Identical watchdog to the serial Run. Its observation points — the
+	// Identical watchdog to the serial Run, sharing the same Platform-field
+	// history (so a restored sharded run observes progress at the instants
+	// the uninterrupted serial run would). Its observation points — the
 	// first instants where the central cycle count crosses a 200k-cycle
 	// milestone — are central edges, i.e. exactly the window barriers, so
 	// the sharded watchdog samples progress at the same instants with the
 	// same values as the serial one.
-	const stallWindow = 200_000
-	lastProg := int64(-1)
-	lastCheck := int64(0)
 	done := true
 	stalled := false
 
 	for pending() && unfinished() > p.tailThreshold && ex.next < maxPS {
 		ex.window()
-		if c := p.CentralClk.Cycles(); c-lastCheck >= stallWindow {
-			if prog := progress(); prog == lastProg {
+		if c := p.CentralClk.Cycles(); c-p.wdLastCheck >= stallWindow {
+			if prog := progress(); prog == p.wdLastProg {
 				done = false
 				stalled = true
 				break
 			} else {
-				lastProg = prog
+				p.wdLastProg = prog
 			}
-			lastCheck = c
+			p.wdLastCheck = c
 		}
 	}
 
@@ -367,15 +377,15 @@ func (p *Platform) runSharded(maxPS int64) Result {
 				done = false
 				break
 			}
-			if c := p.CentralClk.Cycles(); c-lastCheck >= stallWindow {
-				if prog := progress(); prog == lastProg {
+			if c := p.CentralClk.Cycles(); c-p.wdLastCheck >= stallWindow {
+				if prog := progress(); prog == p.wdLastProg {
 					done = false
 					stalled = true
 					break
 				} else {
-					lastProg = prog
+					p.wdLastProg = prog
 				}
-				lastCheck = c
+				p.wdLastCheck = c
 			}
 		}
 	}

@@ -1,0 +1,273 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"mpsocsim/internal/snapshot"
+	"mpsocsim/internal/tracecap"
+)
+
+// checkpointAt is the central-clock cycle the round-trip tests checkpoint
+// at: mid-flight for every golden configuration (they drain between ~12k and
+// ~38k central cycles).
+const checkpointAt = 3000
+
+// checkpointRun builds spec, applies the observability variant, runs to the
+// checkpoint instant, snapshots, restores into a fresh platform (optionally
+// re-sharded) and finishes the run there. It returns the final Result with
+// ResumedFromCycle cleared — the one field that legitimately distinguishes a
+// restored run — plus the rendered report/summary bytes and the encoded
+// captured trace, shaped exactly like shardRun's returns so the two are
+// directly comparable.
+func checkpointRun(t *testing.T, spec Spec, shards int, prep func(*Platform) *tracecap.Capture) (Result, []byte, []byte) {
+	t.Helper()
+	p := MustBuild(spec)
+	prep(p)
+	if !p.RunToCycle(checkpointAt, 5e12) {
+		t.Fatalf("%s drained before checkpoint cycle %d", spec.Name(), checkpointAt)
+	}
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	rp, err := Restore(spec, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if rp.ResumedCycles() < checkpointAt {
+		t.Fatalf("restored at cycle %d, want >= %d", rp.ResumedCycles(), checkpointAt)
+	}
+	if shards > 1 {
+		if err := rp.EnableSharding(shards); err != nil {
+			t.Fatalf("EnableSharding(%d) after Restore: %v", shards, err)
+		}
+	}
+	r := rp.Run(5e12)
+	if !r.Done {
+		t.Fatalf("restored %s did not drain (issued=%d completed=%d)", spec.Name(), r.Issued, r.Completed)
+	}
+	if r.ResumedFromCycle != rp.ResumedCycles() {
+		t.Fatalf("Result.ResumedFromCycle = %d, want %d", r.ResumedFromCycle, rp.ResumedCycles())
+	}
+	r.ResumedFromCycle = 0
+	var rep bytes.Buffer
+	if err := r.WriteJSON(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSummary(&rep); err != nil {
+		t.Fatal(err)
+	}
+	var tb []byte
+	if c := rp.Capture(); c != nil {
+		var tbuf bytes.Buffer
+		if _, err := c.Trace().WriteTo(&tbuf); err != nil {
+			t.Fatal(err)
+		}
+		tb = tbuf.Bytes()
+	}
+	return r, rep.Bytes(), tb
+}
+
+// TestCheckpointRestoreBitIdentical is the checkpoint half of the
+// serial-equivalence contract: for every golden configuration and every
+// observability variant (plain, attribution, timelines, capture), a run
+// interrupted by Snapshot/Restore at a mid-flight cycle must finish
+// bit-identical to the uninterrupted run — the full Result, the rendered
+// JSON report and text summary, and the captured transaction trace.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	for name, spec := range goldenSpecs() {
+		for _, v := range shardVariants {
+			ref, refRep, refTrace := shardRun(t, spec, 1, v.prep)
+			t.Run(fmt.Sprintf("%s/%s", name, v.name), func(t *testing.T) {
+				r, rep, tr := checkpointRun(t, spec, 1, v.prep)
+				if !reflect.DeepEqual(r, ref) {
+					t.Errorf("restored Result differs from uninterrupted (cycles %d vs %d, issued %d vs %d)",
+						r.CentralCycles, ref.CentralCycles, r.Issued, ref.Issued)
+				}
+				if !bytes.Equal(rep, refRep) {
+					t.Errorf("restored report/summary bytes differ from uninterrupted (%d vs %d bytes)", len(rep), len(refRep))
+				}
+				if !bytes.Equal(tr, refTrace) {
+					t.Errorf("restored captured trace differs from uninterrupted (%d vs %d bytes)", len(tr), len(refTrace))
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRestoreShardedBitIdentical extends the PR-6 conformance
+// matrix across the restore boundary: a run checkpointed serially, restored
+// and re-sharded into 2 or 4 shards must still finish bit-identical to the
+// uninterrupted serial run.
+func TestCheckpointRestoreShardedBitIdentical(t *testing.T) {
+	for name, spec := range goldenSpecs() {
+		for _, v := range shardVariants {
+			ref, refRep, refTrace := shardRun(t, spec, 1, v.prep)
+			for _, n := range []int{2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", name, v.name, n), func(t *testing.T) {
+					r, rep, tr := checkpointRun(t, spec, n, v.prep)
+					if !reflect.DeepEqual(r, ref) {
+						t.Errorf("restored sharded Result differs from uninterrupted serial (cycles %d vs %d)",
+							r.CentralCycles, ref.CentralCycles)
+					}
+					if !bytes.Equal(rep, refRep) {
+						t.Errorf("restored sharded report differs from uninterrupted serial")
+					}
+					if !bytes.Equal(tr, refTrace) {
+						t.Errorf("restored sharded captured trace differs from uninterrupted serial")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotDeterministic pins that snapshotting the same instant twice
+// yields byte-identical streams (the property the experiment harness's
+// content-addressed snapshot cache relies on), and that a restored platform
+// re-snapshots to the same bytes.
+func TestSnapshotDeterministic(t *testing.T) {
+	spec := quick(STBus, Distributed, LMIDDR)
+	p := MustBuild(spec)
+	p.EnableAttribution(4)
+	p.EnableTimelines(50, 0)
+	if !p.RunToCycle(checkpointAt, 5e12) {
+		t.Fatal("drained before checkpoint")
+	}
+	var a, b bytes.Buffer
+	if err := p.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same instant differ")
+	}
+	rp, err := Restore(spec, bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := rp.Snapshot(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("restore-then-snapshot differs from the original (%d vs %d bytes)", len(c.Bytes()), len(a.Bytes()))
+	}
+}
+
+// TestSnapshotValidation pins the refusal cases: sharded platforms and
+// platforms with the CSV/VCD sampler cannot snapshot; restores reject a
+// different spec, truncation and corruption with the sentinel errors.
+func TestSnapshotValidation(t *testing.T) {
+	spec := quick(STBus, Distributed, LMIDDR)
+
+	t.Run("sharded-refuses", func(t *testing.T) {
+		p := MustBuild(spec)
+		if err := p.EnableSharding(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Snapshot(&bytes.Buffer{}); err == nil {
+			t.Fatal("Snapshot of a sharded platform should fail")
+		}
+	})
+	t.Run("csv-sampler-refuses", func(t *testing.T) {
+		p := MustBuild(spec)
+		p.samplerAttached = true
+		if err := p.Snapshot(&bytes.Buffer{}); err == nil {
+			t.Fatal("Snapshot with AttachSampler should fail")
+		}
+	})
+
+	p := MustBuild(spec)
+	if !p.RunToCycle(checkpointAt, 5e12) {
+		t.Fatal("drained before checkpoint")
+	}
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	t.Run("wrong-spec", func(t *testing.T) {
+		other := spec
+		other.Seed = spec.Seed + 1
+		if _, err := Restore(other, bytes.NewReader(data)); err == nil {
+			t.Fatal("Restore onto a different spec should fail")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] ^= 0xff
+		if _, err := Restore(spec, bytes.NewReader(bad)); !errors.Is(err, snapshot.ErrMagic) {
+			t.Fatalf("want ErrMagic, got %v", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(snapshot.Magic)] = 0x7f
+		if _, err := Restore(spec, bytes.NewReader(bad)); !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("want ErrVersion, got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 1} {
+			if _, err := Restore(spec, bytes.NewReader(data[:cut])); err == nil {
+				t.Fatalf("Restore of %d/%d bytes should fail", cut, len(data))
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		bad := append(append([]byte(nil), data...), 0x00)
+		if _, err := Restore(spec, bytes.NewReader(bad)); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt for trailing bytes, got %v", err)
+		}
+	})
+}
+
+// TestRunToCycleDrainedWorkload pins RunToCycle's false return when the
+// workload finishes before the checkpoint instant.
+func TestRunToCycleDrainedWorkload(t *testing.T) {
+	spec := quick(STBus, Distributed, LMIDDR)
+	p := MustBuild(spec)
+	if p.RunToCycle(1_000_000_000, 5e12) {
+		t.Fatal("RunToCycle past the drain point should return false")
+	}
+	r := p.Run(5e12)
+	if !r.Done {
+		t.Fatal("finishing a drained run should report Done")
+	}
+}
+
+// TestSnapshotEncodableAcrossConfigs snapshots every protocol × topology ×
+// memory combination at several mid-run instants. It guards the encoder's
+// reachability invariant: no component may hold a dangling pointer to a
+// request already recycled through the pool (the walker panics on one), a
+// bug class that is timing- and topology-dependent — the lightweight-bridge
+// posted-write path only dangles on AXI platforms, for example.
+func TestSnapshotEncodableAcrossConfigs(t *testing.T) {
+	for _, proto := range []Protocol{STBus, AHB, AXI} {
+		for _, topo := range []Topology{Distributed, Collapsed} {
+			for _, mem := range []MemoryKind{OnChip, LMIDDR} {
+				spec := quick(proto, topo, mem)
+				t.Run(spec.Name(), func(t *testing.T) {
+					p := MustBuild(spec)
+					for c := int64(500); c <= 4000; c += 500 {
+						if !p.RunToCycle(c, 5e12) {
+							break
+						}
+						if err := p.Snapshot(io.Discard); err != nil {
+							t.Fatalf("cycle %d: %v", c, err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

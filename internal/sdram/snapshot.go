@@ -1,0 +1,59 @@
+package sdram
+
+import "mpsocsim/internal/snapshot"
+
+// EncodeState serializes the device's mutable state (DESIGN.md §16): per-bank
+// row state and timing fences, the shared data-bus and refresh fences, and
+// the command counters. Timing/geometry are construction parameters,
+// re-derived from the spec; the bank count guards shape.
+func (d *Device) EncodeState(e *snapshot.Encoder) {
+	e.Tag('D')
+	e.U(uint64(len(d.banks)))
+	for i := range d.banks {
+		b := &d.banks[i]
+		e.I(b.openRow)
+		e.I(b.activateAt)
+		e.I(b.lastWriteData)
+		e.I(b.prechargeReady)
+	}
+	e.I(d.dataFreeAt)
+	e.I(d.refreshReady)
+	e.I(d.refreshDeadline)
+	e.I(d.activates)
+	e.I(d.precharges)
+	e.I(d.reads)
+	e.I(d.writes)
+	e.I(d.refreshes)
+	e.I(d.rowHits)
+	e.I(d.rowMisses)
+}
+
+// DecodeState restores a device serialized by EncodeState.
+func (d *Device) DecodeState(dec *snapshot.Decoder) {
+	dec.Tag('D')
+	nb := dec.N(1 << 10)
+	if dec.Err() != nil {
+		return
+	}
+	if nb != len(d.banks) {
+		dec.Corrupt("sdram bank count %d does not match platform's %d", nb, len(d.banks))
+		return
+	}
+	for i := range d.banks {
+		b := &d.banks[i]
+		b.openRow = dec.I()
+		b.activateAt = dec.I()
+		b.lastWriteData = dec.I()
+		b.prechargeReady = dec.I()
+	}
+	d.dataFreeAt = dec.I()
+	d.refreshReady = dec.I()
+	d.refreshDeadline = dec.I()
+	d.activates = dec.I()
+	d.precharges = dec.I()
+	d.reads = dec.I()
+	d.writes = dec.I()
+	d.refreshes = dec.I()
+	d.rowHits = dec.I()
+	d.rowMisses = dec.I()
+}

@@ -69,16 +69,19 @@ func (f *AsyncFifo[T]) Name() string { return f.name }
 
 // SetReaderClock re-points the FIFO at a different reader clock domain.
 // Shard assembly uses it when a bridge's destination clock is replaced by a
-// shard-local replica (same name and period, so maturity arithmetic is
-// unchanged). The FIFO must be idle: entries already stamped against the old
-// clock would otherwise mature on a foreign counter.
+// shard-local replica. The replacement must tick identically — same period
+// and same completed-cycle count — so maturity stamps already recorded
+// against the old clock stay exact; committed entries are therefore fine (a
+// checkpoint-restored platform shards with in-flight traffic), but staged
+// operations are not (the call must happen at an edge boundary).
 func (f *AsyncFifo[T]) SetReaderClock(clk *Clock) {
-	if len(f.cur) != 0 || len(f.pending) != 0 || f.npop != 0 {
-		panic(fmt.Sprintf("sim: SetReaderClock on non-idle async fifo %q", f.name))
+	if len(f.pending) != 0 || f.npop != 0 {
+		panic(fmt.Sprintf("sim: SetReaderClock on async fifo %q with staged operations (pending=%d npop=%d)",
+			f.name, len(f.pending), f.npop))
 	}
-	if clk.PeriodPS() != f.readerClk.PeriodPS() {
-		panic(fmt.Sprintf("sim: SetReaderClock period mismatch on async fifo %q (%d ps -> %d ps)",
-			f.name, f.readerClk.PeriodPS(), clk.PeriodPS()))
+	if clk.PeriodPS() != f.readerClk.PeriodPS() || clk.Cycles() != f.readerClk.Cycles() {
+		panic(fmt.Sprintf("sim: SetReaderClock mismatch on async fifo %q (%d ps/cycle %d -> %d ps/cycle %d)",
+			f.name, f.readerClk.PeriodPS(), f.readerClk.Cycles(), clk.PeriodPS(), clk.Cycles()))
 	}
 	f.readerClk = clk
 }

@@ -446,6 +446,19 @@ func (k *Kernel) PeekNextEdge() int64 { return k.peekNextEdge() }
 // the time axis.
 func (k *Kernel) SetNow(ps int64) { k.nowPS = ps }
 
+// SeedCycles fast-forwards the clock to n completed cycles, as if it had
+// ticked continuously from phase 0. Shard assembly uses it on the per-shard
+// central-clock replicas of a checkpoint-restored platform, so every central
+// clock agrees on the cycle count (maturity stamps, timeline timestamps and
+// NowPS arithmetic all read it).
+func (c *Clock) SeedCycles(n int64) {
+	c.cycle = n
+	c.nextEdge = (n + 1) * c.periodPS
+	if c.kernel != nil {
+		c.kernel.invalidateSchedule()
+	}
+}
+
 // AdoptClock moves an existing clock (with its registered components and its
 // cycle/edge state) into this kernel, detaching it from the kernel that
 // created it. Shard assembly uses it to hand whole clock domains to per-shard

@@ -54,13 +54,12 @@ func TestFifoDeferredUpdateIsNoOp(t *testing.T) {
 	}
 }
 
-func TestFifoMarkDeferredPanicsNonIdle(t *testing.T) {
+func TestFifoMarkDeferredPanicsStagedOps(t *testing.T) {
 	cases := []struct {
 		name string
 		prep func(f *Fifo[int])
 	}{
 		{"staged-push", func(f *Fifo[int]) { f.Push(1) }},
-		{"committed-entry", func(f *Fifo[int]) { f.Push(1); f.Update() }},
 		{"staged-pop", func(f *Fifo[int]) { f.Push(1); f.Update(); f.Pop() }},
 	}
 	for _, tc := range cases {
@@ -69,11 +68,33 @@ func TestFifoMarkDeferredPanicsNonIdle(t *testing.T) {
 			tc.prep(f)
 			defer func() {
 				if recover() == nil {
-					t.Fatal("MarkDeferred on a non-idle fifo must panic")
+					t.Fatal("MarkDeferred with staged operations must panic")
 				}
 			}()
 			f.MarkDeferred()
 		})
+	}
+}
+
+// TestFifoMarkDeferredAllowsCommittedEntries pins the checkpoint/restore
+// relaxation: a FIFO holding committed traffic (no staged operations) may
+// switch to deferred-commit mode — n and head are frozen per window either
+// way — and the entries survive the switch.
+func TestFifoMarkDeferredAllowsCommittedEntries(t *testing.T) {
+	f := NewFifo[int]("f", 4)
+	f.Push(7)
+	f.Push(9)
+	f.Update()
+	f.MarkDeferred()
+	if f.Len() != 2 {
+		t.Fatalf("committed entries lost across MarkDeferred: len=%d", f.Len())
+	}
+	if got := f.Pop(); got != 7 {
+		t.Fatalf("popped %d, want 7", got)
+	}
+	f.CommitDeferred()
+	if f.Len() != 1 {
+		t.Fatalf("after commit: len=%d, want 1", f.Len())
 	}
 }
 

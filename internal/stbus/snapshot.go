@@ -1,0 +1,109 @@
+package stbus
+
+import (
+	"mpsocsim/internal/attr"
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/snapshot"
+)
+
+// EncodeState serializes the node's mutable state (DESIGN.md §16): per-target
+// request-channel occupancy, per-initiator response-path pointers, the
+// outstanding-transaction accounting and the activity counters. Ports belong
+// to the attached components and are serialized by their owners.
+func (n *Node) EncodeState(e *snapshot.Encoder) {
+	e.Tag('S')
+	e.U(uint64(len(n.reqCh)))
+	for t := range n.reqCh {
+		ch := &n.reqCh[t]
+		bus.EncodeReqRef(e, ch.cur)
+		e.I(int64(ch.beatsLeft))
+		e.I(int64(ch.msgLock))
+		e.I(int64(ch.rr))
+		e.I(ch.busyCycles)
+	}
+	e.U(uint64(len(n.respCh)))
+	for i := range n.respCh {
+		e.I(int64(n.respCh[i].rr))
+		e.I(n.respCh[i].busyCycles)
+	}
+	for i := range n.outstanding {
+		e.I(int64(n.outstanding[i]))
+		e.I(int64(n.outTarget[i]))
+		e.U(uint64(len(n.order[i])))
+		for _, id := range n.order[i] {
+			e.U(id)
+		}
+	}
+	// attrHead is sized lazily on the first attributed Eval; entries are
+	// meaningful whenever attribution ran at all.
+	e.U(uint64(len(n.attrHead)))
+	for _, h := range n.attrHead {
+		e.Bool(h)
+	}
+	e.I(n.cycles)
+	e.I(n.forwarded)
+	e.I(n.beatsOut)
+	e.I(n.grantStalls)
+}
+
+// DecodeState restores a node serialized by EncodeState. The receiver must
+// have the same attached initiator/target counts (rebuilt from the spec).
+func (n *Node) DecodeState(d *snapshot.Decoder, col *attr.Collector) {
+	d.Tag('S')
+	nt := d.N(1 << 16)
+	if d.Err() != nil {
+		return
+	}
+	if nt != len(n.reqCh) {
+		d.Corrupt("stbus %q target count %d does not match platform's %d", n.name, nt, len(n.reqCh))
+		return
+	}
+	for t := range n.reqCh {
+		ch := &n.reqCh[t]
+		ch.cur = bus.DecodeReqRef(d, col)
+		ch.beatsLeft = int(d.I())
+		ch.msgLock = int(d.I())
+		ch.rr = int(d.I())
+		ch.busyCycles = d.I()
+	}
+	ni := d.N(1 << 16)
+	if d.Err() != nil {
+		return
+	}
+	if ni != len(n.respCh) {
+		d.Corrupt("stbus %q initiator count %d does not match platform's %d", n.name, ni, len(n.respCh))
+		return
+	}
+	for i := range n.respCh {
+		n.respCh[i].rr = int(d.I())
+		n.respCh[i].busyCycles = d.I()
+	}
+	for i := range n.outstanding {
+		n.outstanding[i] = int(d.I())
+		n.outTarget[i] = int(d.I())
+		cnt := d.N(1 << 16)
+		n.order[i] = n.order[i][:0]
+		for j := 0; j < cnt; j++ {
+			n.order[i] = append(n.order[i], d.U())
+		}
+		if d.Err() != nil {
+			return
+		}
+	}
+	nh := d.N(1 << 16)
+	if d.Err() != nil {
+		return
+	}
+	if nh != 0 && nh != len(n.initiators) {
+		d.Corrupt("stbus %q attr head cache size %d does not match %d initiators", n.name, nh, len(n.initiators))
+		return
+	}
+	n.attrHead = n.attrHead[:0]
+	for i := 0; i < nh; i++ {
+		n.attrHead = append(n.attrHead, d.Bool())
+	}
+	n.cycles = d.I()
+	n.forwarded = d.I()
+	n.beatsOut = d.I()
+	n.grantStalls = d.I()
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"mpsocsim/internal/bus"
+	"mpsocsim/internal/varint"
 )
 
 // Binary trace format (DESIGN.md §12). All integers are unsigned varints
@@ -126,8 +127,7 @@ func (t *Trace) Encode() []byte {
 }
 
 func appendString(buf []byte, s string) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(s)))
-	return append(buf, s...)
+	return varint.AppendString(buf, s)
 }
 
 // WriteTo writes the encoded trace to w.
@@ -158,11 +158,11 @@ func (d *decoder) remaining() int { return len(d.data) - d.off }
 
 func (d *decoder) uvarint(what string) (uint64, error) {
 	at := d.off
-	v, n := binary.Uvarint(d.data[d.off:])
-	if n == 0 {
+	v, n, st := varint.Uvarint(d.data, d.off)
+	switch st {
+	case varint.Truncated:
 		return 0, d.errf(ErrTruncated, at, "%s ends mid-varint", what)
-	}
-	if n < 0 {
+	case varint.Overflow:
 		return 0, d.errf(ErrCorrupt, at, "%s varint overflows 64 bits", what)
 	}
 	d.off += n
@@ -171,11 +171,11 @@ func (d *decoder) uvarint(what string) (uint64, error) {
 
 func (d *decoder) varint(what string) (int64, error) {
 	at := d.off
-	v, n := binary.Varint(d.data[d.off:])
-	if n == 0 {
+	v, n, st := varint.Varint(d.data, d.off)
+	switch st {
+	case varint.Truncated:
 		return 0, d.errf(ErrTruncated, at, "%s ends mid-varint", what)
-	}
-	if n < 0 {
+	case varint.Overflow:
 		return 0, d.errf(ErrCorrupt, at, "%s varint overflows 64 bits", what)
 	}
 	d.off += n

@@ -1,0 +1,117 @@
+package tracecap
+
+import (
+	"sort"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/snapshot"
+)
+
+// EncodeState serializes the capture's mutable state (DESIGN.md §16): every
+// stream's recorded events, its drop counter, and the probe's pending-request
+// index. The full event history is part of the state — a restored run keeps
+// appending to the same streams, so the final trace must be byte-identical to
+// an uninterrupted capture. Stream names and count guard shape (they are
+// spec-derived: one stream per initiator, in attachment order).
+func (c *Capture) EncodeState(e *snapshot.Encoder) {
+	e.Tag('Q')
+	e.U(uint64(len(c.trace.Streams)))
+	for i, s := range c.trace.Streams {
+		e.Str(s.Name)
+		e.I(s.PeriodPS)
+		e.I(s.Dropped)
+		e.U(uint64(len(s.Events)))
+		for j := range s.Events {
+			ev := &s.Events[j]
+			e.I(ev.IssueCycle)
+			e.I(ev.Latency)
+			e.U(ev.Addr)
+			e.U(ev.MsgSeq)
+			e.I(int64(ev.Beats))
+			e.I(int64(ev.BytesPerBeat))
+			e.I(int64(ev.Prio))
+			e.U(uint64(ev.Op))
+			e.Bool(ev.Posted)
+			e.Bool(ev.MsgEnd)
+		}
+		p := c.probes[i]
+		ids := make([]uint64, 0, len(p.pending))
+		for id := range p.pending {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		e.U(uint64(len(ids)))
+		for _, id := range ids {
+			e.U(id)
+			e.U(uint64(p.pending[id]))
+		}
+	}
+}
+
+// DecodeState restores a capture serialized by EncodeState. The capture must
+// already hold the same streams (same spec, same attachment order); decode
+// overwrites their contents.
+func (c *Capture) DecodeState(d *snapshot.Decoder) {
+	d.Tag('Q')
+	ns := d.N(1 << 10)
+	if d.Err() != nil {
+		return
+	}
+	if ns != len(c.trace.Streams) {
+		d.Corrupt("capture stream count %d does not match platform's %d", ns, len(c.trace.Streams))
+		return
+	}
+	for i, s := range c.trace.Streams {
+		name := d.Str()
+		if d.Err() != nil {
+			return
+		}
+		if name != s.Name {
+			d.Corrupt("capture stream %d is %q, platform expects %q", i, name, s.Name)
+			return
+		}
+		s.PeriodPS = d.I()
+		s.Dropped = d.I()
+		ne := d.N(1 << 24)
+		s.Events = s.Events[:0]
+		for j := 0; j < ne; j++ {
+			var ev Event
+			ev.IssueCycle = d.I()
+			ev.Latency = d.I()
+			ev.Addr = d.U()
+			ev.MsgSeq = d.U()
+			ev.Beats = int(d.I())
+			ev.BytesPerBeat = int(d.I())
+			ev.Prio = int(d.I())
+			op := d.U()
+			ev.Posted = d.Bool()
+			ev.MsgEnd = d.Bool()
+			if d.Err() != nil {
+				return
+			}
+			if op > uint64(bus.OpWrite) {
+				d.Corrupt("capture stream %q event %d opcode %d out of range", s.Name, j, op)
+				return
+			}
+			ev.Op = bus.Op(op)
+			s.Events = append(s.Events, ev)
+		}
+		p := c.probes[i]
+		for id := range p.pending {
+			delete(p.pending, id)
+		}
+		np := d.N(1 << 22)
+		for j := 0; j < np; j++ {
+			id := d.U()
+			idx := d.U()
+			if d.Err() != nil {
+				return
+			}
+			if idx >= uint64(len(s.Events)) {
+				d.Corrupt("capture stream %q pending entry points at event %d of %d", s.Name, idx, len(s.Events))
+				return
+			}
+			p.pending[id] = int(idx)
+		}
+	}
+}

@@ -132,6 +132,9 @@ const DefaultLimit = 1 << 20
 type Capture struct {
 	trace Trace
 	limit int
+	// probes are retained in stream order so snapshot/restore can reach the
+	// per-stream pending maps (see snapshot.go).
+	probes []*StreamProbe
 }
 
 // NewCapture starts a capture session. limit caps each stream's event count
@@ -148,6 +151,9 @@ func NewCapture(platformName string, limit int) *Capture {
 // until the run stops.
 func (c *Capture) Trace() *Trace { return &c.trace }
 
+// Limit returns the per-stream event cap the capture was created with.
+func (c *Capture) Limit() int { return c.limit }
+
 // Probe creates the recording stream for one initiator and returns the probe
 // to install on its port (bus.InitiatorPort.Probe). periodPS is the
 // initiator's clock period.
@@ -162,11 +168,13 @@ func (c *Capture) Probe(name string, periodPS int64) *StreamProbe {
 		Events:   make([]Event, 0, prealloc),
 	}
 	c.trace.Streams = append(c.trace.Streams, s)
-	return &StreamProbe{
+	p := &StreamProbe{
 		s:       s,
 		limit:   c.limit,
 		pending: make(map[uint64]int, 64),
 	}
+	c.probes = append(c.probes, p)
+	return p
 }
 
 // StreamProbe records one initiator's lifecycle events into its Stream. It

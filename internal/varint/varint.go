@@ -1,0 +1,68 @@
+// Package varint holds the variable-length integer primitives shared by the
+// repository's binary codecs (the tracecap trace format and the snapshot
+// checkpoint format). Encoding is encoding/binary's LEB128 flavour: unsigned
+// values as Uvarint, signed values zigzag-encoded as Varint, strings as a
+// uvarint byte length followed by raw bytes.
+//
+// The decode helpers return a Status instead of an error so each codec can
+// wrap failures in its own sentinel errors (tracecap.ErrTruncated,
+// snapshot.ErrCorrupt, ...) with its own positional context.
+package varint
+
+import "encoding/binary"
+
+// Status classifies the outcome of a decode.
+type Status int
+
+// Decode outcomes.
+const (
+	// OK means the value decoded cleanly.
+	OK Status = iota
+	// Truncated means the input ended mid-varint.
+	Truncated
+	// Overflow means the varint does not fit in 64 bits.
+	Overflow
+)
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendVarint appends v as a zigzag-encoded signed varint.
+func AppendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+// AppendString appends s as a uvarint length followed by the raw bytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Uvarint decodes an unsigned varint at data[off:], returning the value, the
+// number of bytes consumed (0 unless the status is OK) and the status.
+func Uvarint(data []byte, off int) (uint64, int, Status) {
+	v, n := binary.Uvarint(data[off:])
+	switch {
+	case n == 0:
+		return 0, 0, Truncated
+	case n < 0:
+		return 0, 0, Overflow
+	}
+	return v, n, OK
+}
+
+// Varint decodes a zigzag-encoded signed varint at data[off:], returning the
+// value, the number of bytes consumed (0 unless the status is OK) and the
+// status.
+func Varint(data []byte, off int) (int64, int, Status) {
+	v, n := binary.Varint(data[off:])
+	switch {
+	case n == 0:
+		return 0, 0, Truncated
+	case n < 0:
+		return 0, 0, Overflow
+	}
+	return v, n, OK
+}
