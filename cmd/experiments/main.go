@@ -9,6 +9,7 @@
 //	experiments fig6     fine-grain LMI bus-interface statistics
 //	experiments replay   cross-fabric comparison under recorded stimulus
 //	experiments attr     per-phase latency attribution across protocols
+//	experiments io       IRQ deadlines under a DMA burst storm, per fabric
 //	experiments all      everything above
 //
 // The -scale flag shrinks or grows the workload; -j bounds how many
@@ -58,7 +59,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
 	prof := profiling.DefineFlags()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|attr|ablations [variant]|area|latency|all\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|attr|io|ablations [variant]|area|latency|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -160,6 +161,12 @@ func run(which string, rest []string, o experiments.Options) error {
 			return err
 		}
 		return r.Write(w)
+	case "io":
+		r, err := experiments.IODeadlines(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
 	case "area":
 		fmt.Fprintln(w, "== First-order component cost (paper §3.2's bridge-area remark) ==")
 		fmt.Fprintln(w)
@@ -215,6 +222,10 @@ func run(which string, rest []string, o experiments.Options) error {
 				r, err := experiments.AttrComparison(o)
 				return writeOr(err, func() error { return r.Write(w) })
 			}},
+			{"io", func() error {
+				r, err := experiments.IODeadlines(o)
+				return writeOr(err, func() error { return r.Write(w) })
+			}},
 		} {
 			if err := fig.run(); err != nil {
 				failed++
@@ -222,7 +233,7 @@ func run(which string, rest []string, o experiments.Options) error {
 			}
 		}
 		if failed > 0 {
-			return fmt.Errorf("%d of 8 figures failed", failed)
+			return fmt.Errorf("%d of 9 figures failed", failed)
 		}
 		return nil
 	default:

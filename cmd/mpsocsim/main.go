@@ -47,9 +47,20 @@
 //	mpsocsim -checkpoint-at 8000 -checkpoint warm.ckpt -report cold.json
 //	mpsocsim -restore warm.ckpt -report warm.json   # identical modulo resumed_from_cycle
 //
-// Exit status: 0 on a drained run, 2 when the run deadlocked (the progress
-// watchdog saw no transaction move), 3 when the simulated-time budget ran
-// out first, 1 on usage or I/O errors.
+// The I/O subsystem (-io) attaches a descriptor-chain DMA engine, two
+// interrupt-driven device agents whose per-event service deadlines are
+// tracked in the report's deadlines section, and a heap-allocator traffic
+// source. The -io-* knobs shape it (defaults in parentheses below); negative
+// counts disable the corresponding initiator family:
+//
+//	mpsocsim -io
+//	mpsocsim -io -io-dma-desc -1            # storm off: devices + allocator only
+//	mpsocsim -io -io-irq-deadline 128 -attr # tighter deadlines, phase-attributed
+//
+// Exit status: 0 on a drained run, 2 on a usage error (contradictory flags,
+// like -io-* knobs without -io or with -replay) and when the run deadlocked
+// (the progress watchdog saw no transaction move), 3 when the simulated-time
+// budget ran out first, 1 on I/O errors.
 package main
 
 import (
@@ -68,8 +79,9 @@ import (
 	"mpsocsim/internal/tracecap"
 )
 
-// Exit codes distinguishing the two non-drained outcomes.
+// Exit codes distinguishing usage errors and the two non-drained outcomes.
 const (
+	exitUsage      = 2
 	exitStalled    = 2
 	exitOverBudget = 3
 )
@@ -101,6 +113,14 @@ func main() {
 	checkpointFile := flag.String("checkpoint", "", "write a full-state checkpoint to this file at -checkpoint-at, then finish the run")
 	checkpointAt := flag.Int64("checkpoint-at", 0, "central-clock cycle to take the -checkpoint at (> 0)")
 	restoreFile := flag.String("restore", "", "resume from a checkpoint written by -checkpoint instead of simulating the prefix (spec flags must rebuild the same platform; observability travels with the checkpoint)")
+	ioOn := flag.Bool("io", false, "attach the I/O subsystem: descriptor-chain DMA engine, interrupt-driven device agents with deadline tracking, and a heap-allocator traffic source")
+	ioDMADesc := flag.Int("io-dma-desc", 0, "DMA descriptor-chain length (0 = default, negative disables the engine; needs -io)")
+	ioDMABurst := flag.Int("io-dma-burst", 0, "DMA programmed burst length in beats (0 = default 16; needs -io)")
+	ioIRQAgents := flag.Int("io-irq-agents", 0, "interrupt-driven device agents (0 = default 2, negative disables them; needs -io)")
+	ioIRQPeriod := flag.Int64("io-irq-period", 0, "device event period in I/O-clock cycles (0 = default 400; needs -io)")
+	ioIRQDeadline := flag.Int64("io-irq-deadline", 0, "per-event service deadline in I/O-clock cycles (0 = default 256; needs -io)")
+	ioIRQEvents := flag.Int("io-irq-events", 0, "events per device agent (0 = default, scaled by -scale; needs -io)")
+	ioAllocOps := flag.Int("io-alloc-ops", 0, "heap-allocator malloc/free operations (0 = default, negative disables it; needs -io)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -162,6 +182,35 @@ func main() {
 			fatalf("unknown memory kind %q", *memKind)
 		}
 	})
+	applyIf("io", func() { spec.IO.Enable = *ioOn })
+	applyIf("io-dma-desc", func() { spec.IO.DMADescriptors = *ioDMADesc })
+	applyIf("io-dma-burst", func() { spec.IO.DMABurstBeats = *ioDMABurst })
+	applyIf("io-irq-agents", func() { spec.IO.IRQAgents = *ioIRQAgents })
+	applyIf("io-irq-period", func() { spec.IO.IRQPeriodCycles = *ioIRQPeriod })
+	applyIf("io-irq-deadline", func() { spec.IO.IRQDeadlineCycles = *ioIRQDeadline })
+	applyIf("io-irq-events", func() { spec.IO.IRQEvents = *ioIRQEvents })
+	applyIf("io-alloc-ops", func() { spec.IO.AllocOps = *ioAllocOps })
+
+	// Contradictory flag combinations are usage errors (exit 2), not silent
+	// no-ops: an -io-* knob shapes nothing without the subsystem, replayed
+	// traffic comes from the trace rather than the generators, and a restored
+	// run's observability travels inside the checkpoint.
+	ioShaping := []string{"io-dma-desc", "io-dma-burst", "io-irq-agents",
+		"io-irq-period", "io-irq-deadline", "io-irq-events", "io-alloc-ops"}
+	for _, name := range ioShaping {
+		if !set[name] {
+			continue
+		}
+		if !spec.IO.Enable {
+			usagef("-%s needs -io (or io = true in -config): the I/O subsystem is not attached", name)
+		}
+		if *replayFile != "" {
+			usagef("-%s conflicts with -replay: replayed traffic comes from the trace, not the generators — re-capture with the desired I/O configuration instead", name)
+		}
+	}
+	if *restoreFile != "" && (*attrOn || *attrTop > 0) {
+		usagef("-attr/-attr-top cannot be enabled at -restore: observability travels inside the checkpoint — pass them to the run that takes the checkpoint")
+	}
 
 	if *replayFile != "" {
 		tr, err := tracecap.ReadFile(*replayFile)
@@ -404,4 +453,12 @@ func writeAttrTop(w io.Writer, snap *attr.Snapshot, n int) error {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mpsocsim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports a contradictory flag combination and exits with the
+// conventional usage status (2), pointing at -h for the full flag reference.
+func usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpsocsim: usage error: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run mpsocsim -h for the full flag reference")
+	os.Exit(exitUsage)
 }

@@ -25,6 +25,11 @@ import (
 //	splitlmi  = false
 //	dsp       = true
 //	messaging = true
+//	io        = false          # attach the I/O subsystem (DMA + IRQ agents + heap allocator)
+//	io.dma.descriptors = 0     # 0 = default, negative disables the DMA engine
+//	io.irq.agents      = 0     # 0 = default (2), negative disables the IRQ agents
+//	io.irq.deadline    = 0     # per-event service deadline in I/O cycles (0 = default)
+//	io.alloc.ops       = 0     # 0 = default, negative disables the heap allocator
 //
 // Unset keys keep platform.DefaultSpec values. '#' and ';' start comments.
 func ParsePlatform(r io.Reader) (platform.Spec, error) {
@@ -153,6 +158,36 @@ func platformKey(spec *platform.Spec, key, val string) error {
 			return err
 		}
 		spec.NoMessageArbitration = !b
+	case "io":
+		b, err := parseBool(val)
+		if err != nil {
+			return err
+		}
+		spec.IO.Enable = b
+	case "io.dma.descriptors":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("io.dma.descriptors wants an integer, got %q", val)
+		}
+		spec.IO.DMADescriptors = n
+	case "io.irq.agents":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("io.irq.agents wants an integer, got %q", val)
+		}
+		spec.IO.IRQAgents = n
+	case "io.irq.deadline":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("io.irq.deadline wants a non-negative integer, got %q", val)
+		}
+		spec.IO.IRQDeadlineCycles = n
+	case "io.alloc.ops":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("io.alloc.ops wants an integer, got %q", val)
+		}
+		spec.IO.AllocOps = n
 	default:
 		return fmt.Errorf("unknown platform key %q", key)
 	}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIODeadlinesShapeAndRendering(t *testing.T) {
+	r, err := IODeadlines(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(r.Protocols), 3; got != want {
+		t.Fatalf("protocols = %d, want %d", got, want)
+	}
+	// Two IRQ devices per protocol.
+	if got, want := len(r.Rows), 6; got != want {
+		t.Fatalf("deadline rows = %d, want %d", got, want)
+	}
+	for _, row := range r.Rows {
+		if row.Events <= 0 {
+			t.Errorf("%s/%s: no events", row.Protocol, row.Device)
+		}
+		if row.MissedOff < 0 || row.MissedOff > row.Events || row.MissedOn < 0 || row.MissedOn > row.Events {
+			t.Errorf("%s/%s: miss counts out of range (off=%d on=%d events=%d)",
+				row.Protocol, row.Device, row.MissedOff, row.MissedOn, row.Events)
+		}
+		if row.MeanSvcOff <= 0 || row.MeanSvcOn <= 0 {
+			t.Errorf("%s/%s: non-positive mean service latency", row.Protocol, row.Device)
+		}
+	}
+	if len(r.PhaseRows) == 0 {
+		t.Fatal("no phase rows")
+	}
+	// Conservation: per protocol and regime, phase means sum to the
+	// end-to-end mean.
+	for i, proto := range r.Protocols {
+		var offSum, onSum float64
+		for _, pr := range r.PhaseRows {
+			offSum += pr.OffNS[i]
+			onSum += pr.OnNS[i]
+		}
+		if math.Abs(offSum-r.E2EOff[i]) > 1e-6*r.E2EOff[i] {
+			t.Errorf("%s off: phases sum to %.3f, e2e %.3f", proto, offSum, r.E2EOff[i])
+		}
+		if math.Abs(onSum-r.E2EOn[i]) > 1e-6*r.E2EOn[i] {
+			t.Errorf("%s storm: phases sum to %.3f, e2e %.3f", proto, onSum, r.E2EOn[i])
+		}
+		// Shape: stealing LMI bandwidth cannot speed the interrupt path up.
+		if r.E2EOn[i] < r.E2EOff[i] {
+			t.Errorf("%s: storm-on e2e %.1f ns beats storm-off %.1f ns", proto, r.E2EOn[i], r.E2EOff[i])
+		}
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"protocol", "miss_storm", "d_miss", "p90_storm", "STBus_off", "d_AXI", "end_to_end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+// TestIODeadlinesDeterministic pins that the experiment's rendered output is
+// byte-identical across regenerations (the property the paper-table
+// comparisons rely on), including under the parallel runner.
+func TestIODeadlinesDeterministic(t *testing.T) {
+	render := func(workers int) []byte {
+		o := small
+		o.Workers = workers
+		r, err := IODeadlines(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	if !bytes.Equal(serial, render(1)) {
+		t.Fatal("two serial regenerations differ")
+	}
+	if !bytes.Equal(serial, render(4)) {
+		t.Fatal("parallel regeneration differs from serial")
+	}
+}

@@ -1,0 +1,399 @@
+package io
+
+import (
+	"fmt"
+
+	"mpsocsim/internal/attr"
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/iptg"
+	"mpsocsim/internal/metrics"
+	"mpsocsim/internal/sim"
+	"mpsocsim/internal/stats"
+)
+
+// AllocConfig parameterizes the software heap-allocator traffic source.
+type AllocConfig struct {
+	Name string
+	// Ops is the total malloc/free operations performed over the run.
+	Ops int
+	// MinBytes/MaxBytes bound the allocation-size draw.
+	MinBytes, MaxBytes int
+	// HeapBase/HeapSize bound the modelled heap arena; the first 4 KiB of
+	// the arena hold the allocator's size-class free-list bins.
+	HeapBase uint64
+	HeapSize uint64
+	// LiveCap caps simultaneously live blocks: at the cap the allocator
+	// must free before it can malloc (steady-state churn).
+	LiveCap int
+	// MallocFrac is the probability an unconstrained op is a malloc
+	// (live==0 forces malloc, live==LiveCap forces free).
+	MallocFrac float64
+	// GapMean is the mean geometric idle gap between operations, in
+	// cycles (software does real work between heap calls).
+	GapMean float64
+	// BytesPerBeat is the data width at the allocator's attach point.
+	BytesPerBeat int
+	// TouchBeatsCap caps the payload-touch write burst of a malloc.
+	TouchBeatsCap int
+	// Prio is the request priority label.
+	Prio int
+	// PortReqDepth/PortRespDepth size the bus interface FIFOs.
+	PortReqDepth  int
+	PortRespDepth int
+	// Seed makes sizes, op choices and gaps deterministic.
+	Seed uint64
+}
+
+func (c *AllocConfig) normalize() error {
+	if c.Name == "" {
+		return fmt.Errorf("io: heap allocator needs a name")
+	}
+	if c.Ops <= 0 {
+		return fmt.Errorf("io: heap allocator %q: non-positive op count %d", c.Name, c.Ops)
+	}
+	if c.MinBytes <= 0 {
+		c.MinBytes = 16
+	}
+	if c.MaxBytes < c.MinBytes {
+		c.MaxBytes = 4096
+		if c.MaxBytes < c.MinBytes {
+			c.MaxBytes = c.MinBytes
+		}
+	}
+	if c.LiveCap <= 0 {
+		c.LiveCap = 32
+	}
+	if c.MallocFrac <= 0 || c.MallocFrac >= 1 {
+		c.MallocFrac = 0.55
+	}
+	if c.GapMean < 0 {
+		c.GapMean = 0
+	}
+	if c.BytesPerBeat <= 0 {
+		c.BytesPerBeat = 4
+	}
+	if c.TouchBeatsCap <= 0 {
+		c.TouchBeatsCap = 16
+	}
+	if c.HeapSize == 0 {
+		c.HeapSize = 1 << 22
+	}
+	if c.PortReqDepth <= 0 {
+		c.PortReqDepth = 4
+	}
+	if c.PortRespDepth <= 0 {
+		c.PortRespDepth = 8
+	}
+	return nil
+}
+
+// Steps of the two-transaction malloc/free sequences.
+const (
+	hsIdle       uint8 = iota // between ops (gap countdown)
+	hsMetaIssued              // step 1 in flight: bin read (malloc) / header read (free)
+	hsBodyReady               // step 1 done, step 2 (write) not yet issued
+	hsBodyIssued              // step 2 in flight
+)
+
+// Allocator is the software heap-allocator traffic source (after Villa et
+// al.'s dynamic-memory co-simulation): each malloc is a free-list bin read
+// followed by a header+payload-touch write, each free is a header read
+// followed by a free-list link write, all hitting the memory path like the
+// real allocator running on the DSP would. Addresses are deterministic: a
+// bump cursor (64-byte aligned, wrapping) allocates block addresses and a
+// preallocated live table tracks blocks to free.
+type Allocator struct {
+	cfg    AllocConfig
+	port   *bus.InitiatorPort
+	clk    *sim.Clock
+	rng    *sim.Rand
+	ids    *bus.IDSource
+	origin int
+
+	pool    *bus.RequestPool
+	attrCol *attr.Collector
+
+	opsDone  int64
+	gapLeft  int64
+	step     uint8
+	opFree   bool   // current op is a free
+	opSize   int    // current op's block size
+	opAddr   uint64 // current op's block address
+	reqID    uint64 // the in-flight transaction (one at a time)
+	cursor   uint64 // bump offset into the arena, past the bin table
+	liveAddr []uint64
+	liveSize []int
+	live     int
+
+	mallocs        int64
+	frees          int64
+	issuedTotal    int64
+	completedTotal int64
+	readsTotal     int64
+	writesTotal    int64
+	bytesTotal     int64
+	allocedBytes   int64
+	latency        stats.Histogram
+}
+
+// binTableBytes reserves the head of the arena for the size-class bins.
+const binTableBytes = 4096
+
+// NewAllocator builds the heap-allocator traffic source.
+func NewAllocator(cfg AllocConfig, clk *sim.Clock, ids *bus.IDSource, origin int) (*Allocator, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &Allocator{
+		cfg:      cfg,
+		port:     bus.NewInitiatorPort(cfg.Name, cfg.PortReqDepth, cfg.PortRespDepth),
+		clk:      clk,
+		rng:      sim.NewRand(cfg.Seed ^ 0x4a11),
+		ids:      ids,
+		origin:   origin,
+		liveAddr: make([]uint64, cfg.LiveCap),
+		liveSize: make([]int, cfg.LiveCap),
+	}, nil
+}
+
+// UseRequestPool makes the allocator mint requests from (and return them to)
+// the given pool. Call before simulation starts.
+func (h *Allocator) UseRequestPool(p *bus.RequestPool) { h.pool = p }
+
+// UseAttribution makes the allocator finish each transaction's attribution
+// record at final-beat consumption.
+func (h *Allocator) UseAttribution(col *attr.Collector) { h.attrCol = col }
+
+// Port returns the initiator port to attach to a fabric.
+func (h *Allocator) Port() *bus.InitiatorPort { return h.port }
+
+// Name returns the allocator name.
+func (h *Allocator) Name() string { return h.cfg.Name }
+
+// Origin returns the platform-wide initiator identity.
+func (h *Allocator) Origin() int { return h.origin }
+
+// Done reports whether every heap operation has completed.
+func (h *Allocator) Done() bool { return h.opsDone >= int64(h.cfg.Ops) }
+
+// Issued returns the total transactions issued.
+func (h *Allocator) Issued() int64 { return h.issuedTotal }
+
+// Completed returns the total completed transactions.
+func (h *Allocator) Completed() int64 { return h.completedTotal }
+
+// Unfinished returns exactly the transactions not yet completed: every op is
+// exactly two tracked transactions.
+func (h *Allocator) Unfinished() int64 {
+	return 2*int64(h.cfg.Ops) - h.completedTotal
+}
+
+// MaxConcurrent bounds the allocator's in-flight transactions: the metadata
+// dependency chain serializes them, so at most one.
+func (h *Allocator) MaxConcurrent() int64 { return 1 }
+
+// binAddr maps a size class to its free-list bin slot.
+func (h *Allocator) binAddr(size int) uint64 {
+	return h.cfg.HeapBase + uint64(size/64*8)%binTableBytes
+}
+
+// bumpAlloc carves the next 64-byte-aligned block from the arena cursor,
+// wrapping past the end (the model is timing-accurate; overlap is fine).
+func (h *Allocator) bumpAlloc(size int) uint64 {
+	aligned := uint64((size + 63) &^ 63)
+	body := h.cfg.HeapSize - binTableBytes
+	if h.cursor+aligned > body {
+		h.cursor = 0
+	}
+	addr := h.cfg.HeapBase + binTableBytes + h.cursor
+	h.cursor += aligned
+	return addr
+}
+
+// Eval collects the in-flight response and advances the op state machine,
+// issuing at most one transaction per cycle.
+func (h *Allocator) Eval() {
+	h.collect()
+	if h.Done() {
+		return
+	}
+	if h.gapLeft > 0 {
+		h.gapLeft--
+		return
+	}
+	h.issue()
+}
+
+// Update commits the port FIFOs.
+func (h *Allocator) Update() { h.port.Update() }
+
+func (h *Allocator) collect() {
+	for h.port.Resp.CanPop() {
+		beat := h.port.Resp.Pop()
+		if !beat.Last || beat.Req.ID != h.reqID {
+			continue
+		}
+		h.reqID = 0
+		h.completedTotal++
+		h.latency.Add(h.clk.Cycles() - beat.Req.IssueCycle)
+		if pr := h.port.Probe; pr != nil {
+			pr.RequestCompleted(beat.Req, h.clk.Cycles())
+		}
+		if rec := beat.Req.Attr; rec != nil && h.attrCol != nil {
+			h.attrCol.Finish(rec, h.clk.NowPS())
+		}
+		h.pool.Put(beat.Req)
+		switch h.step {
+		case hsMetaIssued:
+			h.step = hsBodyReady
+		case hsBodyIssued:
+			h.finishOp()
+		}
+	}
+}
+
+// startOp picks the next operation: malloc when nothing is live, free when
+// the live table is full, otherwise a seeded biased coin.
+func (h *Allocator) startOp() {
+	switch {
+	case h.live == 0:
+		h.opFree = false
+	case h.live == h.cfg.LiveCap:
+		h.opFree = true
+	default:
+		h.opFree = !h.rng.Bool(h.cfg.MallocFrac)
+	}
+	if h.opFree {
+		v := h.rng.Intn(h.live)
+		h.opAddr = h.liveAddr[v]
+		h.opSize = h.liveSize[v]
+		// Swap-remove the victim.
+		h.live--
+		h.liveAddr[v] = h.liveAddr[h.live]
+		h.liveSize[v] = h.liveSize[h.live]
+	} else {
+		h.opSize = h.rng.Range(h.cfg.MinBytes, h.cfg.MaxBytes)
+		h.opAddr = h.bumpAlloc(h.opSize)
+	}
+}
+
+// finishOp closes the current op and books the idle gap before the next.
+func (h *Allocator) finishOp() {
+	if h.opFree {
+		h.frees++
+	} else {
+		h.mallocs++
+		h.allocedBytes += int64(h.opSize)
+		h.liveAddr[h.live] = h.opAddr
+		h.liveSize[h.live] = h.opSize
+		h.live++
+	}
+	h.opsDone++
+	h.step = hsIdle
+	h.gapLeft = int64(h.rng.Geometric(h.cfg.GapMean))
+}
+
+// issue advances the current op: metadata read first (free-list bin for
+// malloc, block header for free), then the dependent write (header +
+// payload touch for malloc, free-list link for free).
+func (h *Allocator) issue() {
+	if !h.port.Req.CanPush() {
+		return
+	}
+	switch h.step {
+	case hsIdle:
+		h.startOp()
+		if h.opFree {
+			h.push(bus.OpRead, h.opAddr, 1) // read the block header
+		} else {
+			h.push(bus.OpRead, h.binAddr(h.opSize), 1) // walk the bin free list
+		}
+		h.step = hsMetaIssued
+	case hsBodyReady:
+		if h.opFree {
+			h.push(bus.OpWrite, h.binAddr(h.opSize), 1) // link into the bin
+		} else {
+			beats := ceilDiv(h.opSize, h.cfg.BytesPerBeat)
+			if beats > h.cfg.TouchBeatsCap {
+				beats = h.cfg.TouchBeatsCap
+			}
+			if beats < 1 {
+				beats = 1
+			}
+			h.push(bus.OpWrite, h.opAddr, beats) // header + first-touch
+		}
+		h.step = hsBodyIssued
+	}
+}
+
+func (h *Allocator) push(op bus.Op, addr uint64, beats int) {
+	req := h.pool.Get()
+	*req = bus.Request{
+		ID:           h.ids.Next(),
+		Origin:       h.origin,
+		Op:           op,
+		Addr:         addr,
+		Beats:        beats,
+		BytesPerBeat: h.cfg.BytesPerBeat,
+		Prio:         h.cfg.Prio,
+		IssueCycle:   h.clk.Cycles(),
+		IssuePS:      h.clk.NowPS(),
+		MsgEnd:       true,
+	}
+	h.port.Req.Push(req)
+	if pr := h.port.Probe; pr != nil {
+		pr.RequestIssued(req)
+	}
+	h.reqID = req.ID
+	h.issuedTotal++
+	h.bytesTotal += int64(req.Bytes())
+	if op == bus.OpRead {
+		h.readsTotal++
+	} else {
+		h.writesTotal++
+	}
+}
+
+// Mallocs returns the completed allocation count.
+func (h *Allocator) Mallocs() int64 { return h.mallocs }
+
+// Frees returns the completed free count.
+func (h *Allocator) Frees() int64 { return h.frees }
+
+// Stats reports the allocator as a single-agent IP row.
+func (h *Allocator) Stats() []iptg.AgentStats {
+	return []iptg.AgentStats{{
+		Name:         "heap",
+		Issued:       h.issuedTotal,
+		Completed:    h.completedTotal,
+		Reads:        h.readsTotal,
+		Writes:       h.writesTotal,
+		Bytes:        h.bytesTotal,
+		MeanLatency:  h.latency.Mean(),
+		MaxLatency:   h.latency.Max(),
+		P50Latency:   h.latency.Quantile(0.5),
+		P90Latency:   h.latency.Quantile(0.9),
+		CurrentPhase: int(h.opsDone),
+	}}
+}
+
+// RegisterMetrics registers the allocator's telemetry: the shared
+// "ip.<name>.*" initiator surface plus allocator-specific instruments under
+// "io.halloc.<name>.*".
+func (h *Allocator) RegisterMetrics(m *metrics.Registry, clock string) {
+	p := "ip." + h.cfg.Name + "."
+	m.CounterFunc(p+"issued", func() int64 { return h.issuedTotal })
+	m.CounterFunc(p+"completed", func() int64 { return h.completedTotal })
+	m.GaugeFunc(p+"req_depth", clock, func() int64 { return int64(h.port.Req.Len()) })
+	ap := p + "heap."
+	m.CounterFunc(ap+"issued", func() int64 { return h.issuedTotal })
+	m.CounterFunc(ap+"completed", func() int64 { return h.completedTotal })
+	m.CounterFunc(ap+"bytes", func() int64 { return h.bytesTotal })
+	m.Histogram(ap+"latency", &h.latency)
+
+	hp := "io.halloc." + h.cfg.Name + "."
+	m.CounterFunc(hp+"mallocs", func() int64 { return h.mallocs })
+	m.CounterFunc(hp+"frees", func() int64 { return h.frees })
+	m.CounterFunc(hp+"alloced_bytes", func() int64 { return h.allocedBytes })
+	m.GaugeFunc(hp+"live_blocks", clock, func() int64 { return int64(h.live) })
+}

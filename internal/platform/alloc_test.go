@@ -114,6 +114,33 @@ func TestZeroAllocSteadyStateWithAttribution(t *testing.T) {
 	}
 }
 
+// TestZeroAllocSteadyStateWithIO re-proves the invariant with the I/O
+// subsystem attached: the DMA engine's descriptor chain, the IRQ devices'
+// event rings and in-flight tables, and the heap allocator's live-block table
+// are all preallocated at build time and recycled in place, so the extra
+// initiator types cost no allocations per cycle either.
+func TestZeroAllocSteadyStateWithIO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	spec := DefaultSpec()
+	spec.IO.Enable = true
+	// Long chains and event streams keep both I/O initiator types live for
+	// the whole measurement window.
+	spec.IO.DMADescriptors = 1 << 20
+	spec.IO.IRQEvents = 1 << 20
+	spec.IO.AllocOps = 1 << 20
+	p := MustBuild(spec)
+	p.Kernel.RunCycles(p.CentralClk, 5000)
+
+	allocs := testing.AllocsPerRun(2000, func() {
+		p.Kernel.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step with I/O allocates: %.2f allocs/step (want 0)", allocs)
+	}
+}
+
 // TestZeroAllocSteadyStateSingleLayer covers the single-clock kernel fast
 // path with the §4.1 testbench.
 func TestZeroAllocSteadyStateSingleLayer(t *testing.T) {

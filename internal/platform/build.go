@@ -76,6 +76,10 @@ type Platform struct {
 	genClk     []*sim.Clock
 	bridges    map[string]*bridge.Bridge
 	core       *dspcore.Core
+	// dspLink is the point-to-point node at the DSP core interface; the
+	// I/O subsystem's heap allocator attaches here when the DSP is present
+	// (allocator traffic models software running on the core).
+	dspLink *stbus.Node
 
 	onchip *mem.Memory
 	ctrl   *lmi.Controller
@@ -213,6 +217,9 @@ func Build(spec Spec) (*Platform, error) {
 	}
 	if spec.WithDSP {
 		p.buildDSP()
+	}
+	if err := p.buildIO(); err != nil {
+		return nil, err
 	}
 	// The central fabric evaluates after all its initiator-side feeders
 	// have been registered (registration order within a clock is the
@@ -646,6 +653,7 @@ func (p *Platform) buildDSP() {
 	link := stbus.NewNode("st220_link", stbus.Config{
 		Type: stbus.Type3, MaxOutstanding: 4, BytesPerBeat: 4,
 	}, bus.Single(0))
+	p.dspLink = link
 	p.fabrics = append(p.fabrics, fabricEntry{link, "cpu"})
 	link.AttachInitiator(p.core.Port())
 	link.AttachTarget(conv.TargetPort())

@@ -13,9 +13,10 @@ import (
 // configurations whose numbers we promise to hold.
 func goldenSpecs() map[string]Spec {
 	return map[string]Spec{
-		"stbus-distributed-lmi":  quick(STBus, Distributed, LMIDDR),
-		"ahb-distributed-onchip": quick(AHB, Distributed, OnChip),
-		"axi-collapsed-lmi":      quick(AXI, Collapsed, LMIDDR),
+		"stbus-distributed-lmi":    quick(STBus, Distributed, LMIDDR),
+		"ahb-distributed-onchip":   quick(AHB, Distributed, OnChip),
+		"axi-collapsed-lmi":        quick(AXI, Collapsed, LMIDDR),
+		"stbus-distributed-lmi-io": quickIO(STBus, Distributed, LMIDDR),
 	}
 }
 

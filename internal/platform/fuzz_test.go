@@ -13,10 +13,12 @@ import (
 )
 
 // fuzzSpec is the one configuration the snapshot fuzzer decodes against: the
-// full platform (bridges, LMI controller, DDR model) so every section codec
-// is on the decode path. Must stay in sync with the checked-in corpus under
-// testdata/fuzz/FuzzSnapshotDecode — those seeds carry its fingerprint.
-func fuzzSpec() Spec { return quick(STBus, Distributed, LMIDDR) }
+// full platform (bridges, LMI controller, DDR model) with the I/O subsystem
+// attached, so every section codec — including the DMA chain, IRQ ring and
+// heap-allocator codecs — is on the decode path. Must stay in sync with the
+// checked-in corpus under testdata/fuzz/FuzzSnapshotDecode — those seeds
+// carry its fingerprint.
+func fuzzSpec() Spec { return quickIO(STBus, Distributed, LMIDDR) }
 
 // fuzzSnapshotBytes runs the fuzz spec to a mid-flight instant and returns
 // the real snapshot stream — the seed that lets the mutation engine reach

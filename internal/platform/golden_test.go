@@ -33,6 +33,11 @@ func TestGoldenCycleCounts(t *testing.T) {
 			spec: func() Spec { return quick(AXI, Collapsed, LMIDDR) },
 			want: 37541,
 		},
+		{
+			name: "stbus-distributed-lmi-io",
+			spec: func() Spec { return quickIO(STBus, Distributed, LMIDDR) },
+			want: 23022,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

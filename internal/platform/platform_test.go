@@ -17,6 +17,14 @@ func quick(proto Protocol, topo Topology, m MemoryKind) Spec {
 	return s
 }
 
+// quickIO is quick with the I/O subsystem attached (DMA engine, two IRQ
+// agents, heap allocator) at its default knobs.
+func quickIO(proto Protocol, topo Topology, m MemoryKind) Spec {
+	s := quick(proto, topo, m)
+	s.IO.Enable = true
+	return s
+}
+
 // runCycles builds and runs, failing the test on timeout.
 func runCycles(t *testing.T, s Spec) Result {
 	t.Helper()

@@ -6,6 +6,7 @@ import (
 
 	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bridge"
+	mpio "mpsocsim/internal/io"
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/lmi"
 	"mpsocsim/internal/metrics"
@@ -18,7 +19,8 @@ import (
 //
 // /2 added the optional "attribution" section (per-initiator × per-phase
 // latency breakdown) and the timeline "dropped" counters; every /1 field is
-// unchanged.
+// unchanged. The optional "deadlines" section (I/O deadline accounting) and
+// the spec's io_* fields are additive to /2.
 const ReportSchema = "mpsocsim.report/2"
 
 // SpecReport is the JSON-stable description of the run's configuration: the
@@ -50,6 +52,15 @@ type SpecReport struct {
 	Replay        bool     `json:"replay,omitempty"`
 	ReplayMode    string   `json:"replay_mode,omitempty"`
 	ReplayStreams []string `json:"replay_streams,omitempty"`
+
+	IO                bool  `json:"io,omitempty"`
+	IODMADescriptors  int   `json:"io_dma_descriptors,omitempty"`
+	IODMABurstBeats   int   `json:"io_dma_burst_beats,omitempty"`
+	IOIRQAgents       int   `json:"io_irq_agents,omitempty"`
+	IOIRQPeriodCycles int64 `json:"io_irq_period_cycles,omitempty"`
+	IOIRQDeadline     int64 `json:"io_irq_deadline_cycles,omitempty"`
+	IOIRQEvents       int   `json:"io_irq_events,omitempty"`
+	IOAllocOps        int   `json:"io_alloc_ops,omitempty"`
 }
 
 // DSPReport is the core's slice of the report.
@@ -63,27 +74,31 @@ type DSPReport struct {
 // summary prints, and the complete metrics snapshot (every registered
 // counter, gauge, histogram and sampled timeline).
 type Report struct {
-	Schema         string                       `json:"schema"`
-	Spec           SpecReport                   `json:"spec"`
-	Done           bool                         `json:"done"`
-	Stalled        bool                         `json:"stalled,omitempty"`
-	ExecPS         int64                        `json:"exec_ps"`
-	CentralCycles  int64                        `json:"central_cycles"`
+	Schema        string     `json:"schema"`
+	Spec          SpecReport `json:"spec"`
+	Done          bool       `json:"done"`
+	Stalled       bool       `json:"stalled,omitempty"`
+	ExecPS        int64      `json:"exec_ps"`
+	CentralCycles int64      `json:"central_cycles"`
 	// ResumedFromCycle is the central-clock cycle the run was restored from
 	// a checkpoint at; absent for a run started from scratch. Additive to
 	// report/2 — every other field keeps its meaning (cumulative figures
 	// still cover the whole run from cycle 0).
-	ResumedFromCycle int64 `json:"resumed_from_cycle,omitempty"`
-	Issued         int64                        `json:"issued"`
-	Completed      int64                        `json:"completed"`
-	TotalBytes     int64                        `json:"total_bytes"`
-	ThroughputMBps float64                      `json:"throughput_mbps"`
-	MemUtilization float64                      `json:"mem_utilization"`
-	LMI            *lmi.Stats                   `json:"lmi,omitempty"`
-	DSP            *DSPReport                   `json:"dsp,omitempty"`
-	IPs            map[string][]iptg.AgentStats `json:"ips"`
-	Bridges        map[string]bridge.Stats      `json:"bridges,omitempty"`
-	Metrics        *metrics.Snapshot            `json:"metrics,omitempty"`
+	ResumedFromCycle int64                        `json:"resumed_from_cycle,omitempty"`
+	Issued           int64                        `json:"issued"`
+	Completed        int64                        `json:"completed"`
+	TotalBytes       int64                        `json:"total_bytes"`
+	ThroughputMBps   float64                      `json:"throughput_mbps"`
+	MemUtilization   float64                      `json:"mem_utilization"`
+	LMI              *lmi.Stats                   `json:"lmi,omitempty"`
+	DSP              *DSPReport                   `json:"dsp,omitempty"`
+	IPs              map[string][]iptg.AgentStats `json:"ips"`
+	// Deadlines is the per-device deadline accounting of the interrupt-driven
+	// I/O agents, present when the I/O subsystem is enabled. Additive to
+	// report/2.
+	Deadlines []mpio.DeadlineStats    `json:"deadlines,omitempty"`
+	Bridges   map[string]bridge.Stats `json:"bridges,omitempty"`
+	Metrics   *metrics.Snapshot       `json:"metrics,omitempty"`
 	// Attribution is the per-initiator × per-phase latency breakdown,
 	// present when the run was executed with attribution enabled.
 	Attribution *attr.Snapshot `json:"attribution,omitempty"`
@@ -120,23 +135,41 @@ func (r Result) Report() Report {
 		sr.ReplayMode = s.ReplayMode.String()
 		sr.ReplayStreams = s.Replay.StreamNames()
 	}
+	if s.IO.Enable {
+		prm := s.IO.effective(s.WorkloadScale)
+		sr.IO = true
+		if prm.dma {
+			sr.IODMADescriptors = prm.dmaDescriptors
+			sr.IODMABurstBeats = prm.dmaBurstBeats
+		}
+		sr.IOIRQAgents = prm.irqAgents
+		if prm.irqAgents > 0 {
+			sr.IOIRQPeriodCycles = prm.irqPeriod
+			sr.IOIRQDeadline = prm.irqDeadline
+			sr.IOIRQEvents = prm.irqEvents
+		}
+		if prm.alloc {
+			sr.IOAllocOps = prm.allocOps
+		}
+	}
 	rep := Report{
-		Schema:         ReportSchema,
-		Spec:           sr,
-		Done:           r.Done,
-		Stalled:        r.Stalled,
+		Schema:           ReportSchema,
+		Spec:             sr,
+		Done:             r.Done,
+		Stalled:          r.Stalled,
 		ExecPS:           r.ExecPS,
 		CentralCycles:    r.CentralCycles,
 		ResumedFromCycle: r.ResumedFromCycle,
-		Issued:         r.Issued,
-		Completed:      r.Completed,
-		TotalBytes:     r.TotalBytes,
-		ThroughputMBps: r.ThroughputMBps(),
-		MemUtilization: r.MemUtilization,
-		IPs:            r.IPs,
-		Bridges:        r.Bridges,
-		Metrics:        r.Metrics,
-		Attribution:    r.Attribution,
+		Issued:           r.Issued,
+		Completed:        r.Completed,
+		TotalBytes:       r.TotalBytes,
+		ThroughputMBps:   r.ThroughputMBps(),
+		MemUtilization:   r.MemUtilization,
+		IPs:              r.IPs,
+		Deadlines:        r.Deadlines,
+		Bridges:          r.Bridges,
+		Metrics:          r.Metrics,
+		Attribution:      r.Attribution,
 	}
 	if r.Spec.Memory == LMIDDR {
 		l := r.LMI

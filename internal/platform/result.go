@@ -6,6 +6,7 @@ import (
 
 	"mpsocsim/internal/attr"
 	"mpsocsim/internal/bridge"
+	mpio "mpsocsim/internal/io"
 	"mpsocsim/internal/iptg"
 	"mpsocsim/internal/lmi"
 	"mpsocsim/internal/metrics"
@@ -53,6 +54,10 @@ type Result struct {
 		Cycles  int64
 		CPI     float64
 	}
+	// Deadlines holds one row per deadline-tracked I/O agent (empty unless
+	// the spec enables the I/O subsystem): events raised/serviced, deadline
+	// met/miss counts and the service-latency shape.
+	Deadlines []mpio.DeadlineStats
 	// Metrics is the point-in-time snapshot of every registered instrument,
 	// taken when the run finished. The text summary and the JSON report
 	// render from it; it stays valid after the platform is gone.
@@ -159,6 +164,11 @@ func (p *Platform) collect(done bool) Result {
 			r.TotalBytes += a.Bytes
 		}
 	}
+	for _, g := range p.gens {
+		if dt, ok := g.(mpio.DeadlineTracker); ok {
+			r.Deadlines = append(r.Deadlines, dt.DeadlineStats())
+		}
+	}
 	for name, br := range p.bridges {
 		r.Bridges[name] = br.Stats()
 	}
@@ -239,6 +249,19 @@ func (r Result) WriteSummary(w io.Writer) error {
 	}
 	if err := tbl.Write(w); err != nil {
 		return err
+	}
+	if len(r.Deadlines) > 0 {
+		fmt.Fprintln(w)
+		dtbl := stats.NewTable("device", "deadline", "raised", "serviced", "met", "missed", "mean_svc", "p90_svc", "max_svc")
+		for _, ds := range r.Deadlines {
+			dtbl.AddRow(ds.Device, fmt.Sprint(ds.DeadlineCycles),
+				fmt.Sprint(ds.Raised), fmt.Sprint(ds.Serviced),
+				fmt.Sprint(ds.Met), fmt.Sprint(ds.Missed),
+				fmt.Sprintf("%.1f", ds.MeanSvcCycles), fmt.Sprint(ds.P90SvcCycles), fmt.Sprint(ds.MaxSvcCycles))
+		}
+		if err := dtbl.Write(w); err != nil {
+			return err
+		}
 	}
 	if len(r.Bridges) == 0 {
 		return nil

@@ -152,6 +152,10 @@ func randomSpec(rng *rand.Rand) Spec {
 	s.TwoPhase = rng.Intn(4) == 0
 	s.MaxOutstanding = []int{1, 2, 4, 8}[rng.Intn(4)]
 	s.BridgeLatency = 1 + rng.Intn(3)
+	if rng.Intn(2) == 0 {
+		s.IO.Enable = true
+		s.IO.DMAPostedWrites = rng.Intn(2) == 0
+	}
 	return s
 }
 
@@ -200,6 +204,7 @@ func shardDiff(spec Spec, shards int) string {
 // persists, converging on a minimal reproducer.
 func shrinkSpec(spec Spec, shards int) Spec {
 	dims := []func(*Spec) bool{
+		func(s *Spec) bool { changed := s.IO.Enable; s.IO = IOSpec{}; return changed },
 		func(s *Spec) bool { changed := s.TwoPhase; s.TwoPhase = false; return changed },
 		func(s *Spec) bool { changed := s.WithDSP; s.WithDSP = false; return changed },
 		func(s *Spec) bool { changed := s.SplitLMIBridge; s.SplitLMIBridge = false; return changed },

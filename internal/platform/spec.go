@@ -158,6 +158,12 @@ type Spec struct {
 	// Seed drives all traffic-generator randomness.
 	Seed uint64
 
+	// IO configures the I/O subsystem: a descriptor-chain DMA engine,
+	// interrupt-driven device agents with deadline tracking, and a software
+	// heap-allocator traffic source (DESIGN.md §17). Disabled by default so
+	// the paper's reference figures are unchanged.
+	IO IOSpec
+
 	// Replay, when non-nil, swaps every IP traffic generator for a
 	// trace-driven replay initiator fed from the trace's matching
 	// per-initiator stream (matched by IP name). The workload knobs above
@@ -212,6 +218,121 @@ func (s *Spec) normalize() {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+}
+
+// IOSpec configures the I/O subsystem of DESIGN.md §17. The zero value is
+// "disabled"; with Enable set, zero-valued knobs mean "default". Defaults
+// are interpreted at build time (see effective), NOT filled in here or in
+// normalize: Snapshot fingerprints the normalized spec while Restore
+// fingerprints the caller's raw spec, so normalization must never rewrite
+// spec fields.
+type IOSpec struct {
+	// Enable attaches the I/O subsystem: its own 125 MHz cluster layer in
+	// the distributed topology (a sixth bridge into the central node), or
+	// direct central-node attachment in the collapsed one.
+	Enable bool
+
+	// DMADescriptors is the DMA engine's chain length. 0 means the default
+	// (48, scaled by WorkloadScale); negative disables the DMA engine —
+	// the "storm off" control of the `experiments io` scenario.
+	DMADescriptors int
+	// DMABurstBeats is the programmed burst length (default 16).
+	DMABurstBeats int
+	// DMAMinBytes/DMAMaxBytes bound the per-descriptor payload draw
+	// (defaults 2048/8192).
+	DMAMinBytes int
+	DMAMaxBytes int
+	// DMAPostedWrites posts the engine's scatter writes (subject to
+	// ForceNonPostedWrites, like every other initiator).
+	DMAPostedWrites bool
+
+	// IRQAgents is how many interrupt-driven device agents to attach
+	// (0 means the default of 2; negative disables them).
+	IRQAgents int
+	// IRQPeriodCycles/IRQJitterCycles shape the device event source in
+	// I/O-clock cycles (defaults 400 ± 32).
+	IRQPeriodCycles int64
+	IRQJitterCycles int64
+	// IRQDeadlineCycles is each event's service deadline in I/O-clock
+	// cycles (default 256).
+	IRQDeadlineCycles int64
+	// IRQEvents is the per-agent event count (0 means the default of 48,
+	// scaled by WorkloadScale).
+	IRQEvents int
+	// IRQBursts is the transactions per interrupt service (default 4).
+	IRQBursts int
+
+	// AllocOps is the heap allocator's malloc/free operation count.
+	// 0 means the default (240, scaled by WorkloadScale); negative
+	// disables the allocator.
+	AllocOps int
+}
+
+// ioParams are the build-time-effective I/O parameters after default
+// interpretation and workload scaling.
+type ioParams struct {
+	dma            bool
+	dmaDescriptors int
+	dmaBurstBeats  int
+	dmaMinBytes    int
+	dmaMaxBytes    int
+	dmaPosted      bool
+
+	irqAgents   int
+	irqPeriod   int64
+	irqJitter   int64
+	irqDeadline int64
+	irqEvents   int
+	irqBursts   int
+
+	alloc    bool
+	allocOps int
+}
+
+// effective interprets the IOSpec's zero values against the defaults and the
+// workload scale. Pure: it never mutates the spec (see the IOSpec doc for
+// why that matters to checkpoint fingerprints).
+func (s IOSpec) effective(workloadScale float64) ioParams {
+	if workloadScale <= 0 {
+		workloadScale = 1
+	}
+	def := func(v, d int) int {
+		if v == 0 {
+			return d
+		}
+		return v
+	}
+	def64 := func(v, d int64) int64 {
+		if v == 0 {
+			return d
+		}
+		return v
+	}
+	prm := ioParams{
+		dma:            s.DMADescriptors >= 0,
+		dmaDescriptors: int(scale(int64(def(s.DMADescriptors, 48)), workloadScale)),
+		dmaBurstBeats:  def(s.DMABurstBeats, 16),
+		dmaMinBytes:    def(s.DMAMinBytes, 2048),
+		dmaMaxBytes:    def(s.DMAMaxBytes, 8192),
+		dmaPosted:      s.DMAPostedWrites,
+
+		irqAgents:   def(s.IRQAgents, 2),
+		irqPeriod:   def64(s.IRQPeriodCycles, 400),
+		irqJitter:   def64(s.IRQJitterCycles, 32),
+		irqDeadline: def64(s.IRQDeadlineCycles, 256),
+		irqEvents:   int(scale(int64(def(s.IRQEvents, 48)), workloadScale)),
+		irqBursts:   def(s.IRQBursts, 4),
+
+		alloc:    s.AllocOps >= 0,
+		allocOps: int(scale(int64(def(s.AllocOps, 240)), workloadScale)),
+	}
+	if prm.irqAgents < 0 {
+		prm.irqAgents = 0
+	}
+	if prm.dmaMaxBytes < prm.dmaMinBytes {
+		prm.dmaMaxBytes = prm.dmaMinBytes
+	}
+	return prm
 }
 
 // Name returns a compact identifier like "STBus/distributed/lmi+ddr".
