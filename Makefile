@@ -47,11 +47,11 @@ fuzz-short:
 	$(GO) test ./internal/platform -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 
 # Perf-trajectory snapshot: benchmarks the simulator and refreshes
-# BENCH_8.json (ns/op, allocs/op, simulated cycles per second, speedup vs
+# BENCH_9.json (ns/op, allocs/op, simulated cycles per second, speedup vs
 # the frozen pre-optimization baseline, instrumentation and I/O-subsystem
-# overhead fractions, serial-vs-sharded and checkpoint warm-start
-# speedups). `make benchquick` is the smoke variant CI runs: every
-# benchmark once, no JSON.
+# and live-telemetry overhead fractions, serial-vs-sharded and checkpoint
+# warm-start speedups). `make benchquick` is the smoke variant CI runs:
+# every benchmark once, no JSON.
 bench:
 	$(GO) run ./cmd/bench
 

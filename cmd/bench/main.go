@@ -4,7 +4,7 @@
 // BENCH_<n>.json snapshot next to the previous ones, so the cycles/sec
 // trajectory across PRs lives in the repo itself.
 //
-//	go run ./cmd/bench            # writes BENCH_8.json in the cwd
+//	go run ./cmd/bench            # writes BENCH_9.json in the cwd
 //	go run ./cmd/bench -o out.json
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -93,6 +93,13 @@ type Report struct {
 	// acceptance bound is ≤ 3%, matching the attr/metrics precedent;
 	// buildIO's pay-as-you-go layer skip keeps it ~0.
 	IOOverheadFrac float64 `json:"io_overhead_frac"`
+	// TelemetryOverheadFrac is the same ratio for the §18 live-telemetry
+	// collector at a 1 ms wall snapshot cadence (every 1000 central cycles
+	// at the reference run's ~1.1 us/cycle pace): the per-step cadence
+	// check plus the ring-row snapshots themselves, with no stream or HTTP
+	// reader attached — the cost a run pays for being observable at all.
+	// The acceptance bound is ≤ 3%, matching the attr/metrics precedent.
+	TelemetryOverheadFrac float64 `json:"telemetry_overhead_frac"`
 	// ShardedSpeedup{2,4} is the §15 parallel-kernel speedup: serial
 	// run-phase ns/op divided by the same run sharded across 2/4 clock
 	// domains. Values below 1 mean the barrier protocol costs more than
@@ -129,7 +136,7 @@ var referenceBaseline = Baseline{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_8.json", "output file")
+	out := flag.String("o", "BENCH_9.json", "output file")
 	prof := profiling.DefineFlags()
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -312,6 +319,19 @@ func main() {
 			}
 			return func(platform.Result) {}
 		}},
+		// §18 live telemetry: snapshot the full registry every 1000 central
+		// cycles (~1 ms wall at the reference pace) into the collector's
+		// ring, no stream or HTTP reader attached. The run itself must be
+		// untouched — the conformance suite proves bit-identity; this
+		// measures what the cadence check + ring writes cost.
+		{name: "reference_with_telemetry", setup: func(p *platform.Platform) func(platform.Result) {
+			col := p.EnableTelemetry(1000, 0)
+			return func(platform.Result) {
+				if col.Seq() == 0 {
+					fatal("telemetry run collected no snapshots")
+				}
+			}
+		}},
 	}
 	const phaseRounds = 40
 	entries := make([]Entry, len(bodies))
@@ -358,14 +378,15 @@ func main() {
 		}
 	}
 	const (
-		phaseBare     = 0
-		phaseMetrics  = 1
-		phaseCapture  = 2
-		phaseAttr     = 3
-		phaseIOIdle   = 4
-		phaseIOFull   = 5
-		phaseSharded2 = 6
-		phaseSharded4 = 7
+		phaseBare      = 0
+		phaseMetrics   = 1
+		phaseCapture   = 2
+		phaseAttr      = 3
+		phaseIOIdle    = 4
+		phaseIOFull    = 5
+		phaseSharded2  = 6
+		phaseSharded4  = 7
+		phaseTelemetry = 8
 	)
 	if entries[phaseIOIdle].CyclesPerOp != entries[phaseBare].CyclesPerOp {
 		fatal(fmt.Sprintf("idle-I/O run simulated %.0f cycles, bare run %.0f: the attach-cost comparison needs identical work",
@@ -483,6 +504,7 @@ func main() {
 	report.CaptureOverheadFrac = medianRatio(phaseCapture) - 1
 	report.AttrOverheadFrac = medianRatio(phaseAttr) - 1
 	report.IOOverheadFrac = medianRatio(phaseIOIdle) - 1
+	report.TelemetryOverheadFrac = medianRatio(phaseTelemetry) - 1
 	report.ShardedSpeedup2 = 1 / medianRatio(phaseSharded2)
 	report.ShardedSpeedup4 = 1 / medianRatio(phaseSharded4)
 
@@ -496,7 +518,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%, attr overhead: %.1f%%, io overhead: %.1f%%, sharded x2/x4: %.2fx/%.2fx, warm-start: %.2fx  ->  %s\n",
+	fmt.Printf("speedup vs baseline: %.2fx, metrics overhead: %.1f%%, capture overhead: %.1f%%, attr overhead: %.1f%%, io overhead: %.1f%%, telemetry overhead: %.1f%%, sharded x2/x4: %.2fx/%.2fx, warm-start: %.2fx  ->  %s\n",
 		report.SpeedupNsPerOp, 100*report.MetricsOverheadFrac, 100*report.CaptureOverheadFrac, 100*report.AttrOverheadFrac,
-		100*report.IOOverheadFrac, report.ShardedSpeedup2, report.ShardedSpeedup4, report.WarmStartSpeedup, *out)
+		100*report.IOOverheadFrac, 100*report.TelemetryOverheadFrac, report.ShardedSpeedup2, report.ShardedSpeedup4, report.WarmStartSpeedup, *out)
 }

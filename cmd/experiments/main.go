@@ -29,6 +29,11 @@
 //	experiments -warm-cache /tmp/warm fig5   # cold: primes the cache
 //	experiments -warm-cache /tmp/warm fig5   # warm: restores 5 prefixes
 //
+// -live ADDR serves an aggregate JSON progress document (schema
+// mpsocsim.progress.jobs/1) at http://ADDR/progress — per-job cycle
+// position, budget fraction and ETA, plus the sweep-wide cycles/s — and
+// appends the same aggregate rate and slowest-job ETA to the progress line.
+//
 // `experiments ablations [variant]` runs one named ablation (messaging,
 // stbus-types, sdr-ddr, bridge-latency) or, with no variant, all of them.
 // Under `all`, a failed figure is reported on stderr and the remaining
@@ -38,6 +43,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 
@@ -47,6 +54,7 @@ import (
 	"mpsocsim/internal/lmi"
 	"mpsocsim/internal/profiling"
 	"mpsocsim/internal/stbus"
+	"mpsocsim/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +65,7 @@ func main() {
 	warmCache := flag.String("warm-cache", "", "directory of warm-start checkpoints: full-platform runs restore their warm-up prefix from it instead of re-simulating (first run primes it; results stay byte-identical)")
 	warmPrefix := flag.Int64("warm-prefix", experiments.DefaultWarmPrefix, "warm-up prefix length in central cycles for -warm-cache")
 	quiet := flag.Bool("q", false, "suppress the progress/ETA line")
+	liveAddr := flag.String("live", "", "serve aggregate multi-job progress over HTTP on this address (/progress JSON) and add cycles/s + slowest-job ETA to the progress line")
 	prof := profiling.DefineFlags()
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|attr|io|ablations [variant]|area|latency|all\n")
@@ -78,6 +87,17 @@ func main() {
 	o := experiments.Options{Scale: *scale, Seed: *seed, Workers: *jobs, Shards: *shards}
 	if !*quiet {
 		o.Progress = os.Stderr
+	}
+	if *liveAddr != "" {
+		hub := telemetry.NewHub()
+		ln, err := net.Listen("tcp", *liveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: live:", err)
+			os.Exit(1)
+		}
+		go http.Serve(ln, hub.Handler())
+		fmt.Fprintf(os.Stderr, "live progress on http://%s/progress\n", ln.Addr())
+		o.Live = hub
 	}
 	if *warmCache != "" {
 		cache, err := experiments.NewSnapCache(*warmCache, *warmPrefix)

@@ -47,6 +47,18 @@
 //	mpsocsim -checkpoint-at 8000 -checkpoint warm.ckpt -report cold.json
 //	mpsocsim -restore warm.ckpt -report warm.json   # identical modulo resumed_from_cycle
 //
+// Live telemetry streams the run while it executes: -telemetry writes one
+// NDJSON record (schema mpsocsim.telemetry/1) per -telemetry-every central
+// cycles — cycle, simulated time, per-initiator issue/completion counts and
+// the full counter/gauge registry — and -live serves the same collector over
+// HTTP: Prometheus text at /metrics, an SSE record stream at /events and a
+// JSON progress document (cycles/s, ETA against the budget, per-shard window
+// counts) at /progress. The record stream is deterministic: byte-identical
+// between serial and sharded runs of the same spec and cadence:
+//
+//	mpsocsim -telemetry run.ndjson -telemetry-every 512
+//	mpsocsim -live 127.0.0.1:9100 & curl localhost:9100/progress
+//
 // The I/O subsystem (-io) attaches a descriptor-chain DMA engine, two
 // interrupt-driven device agents whose per-event service deadlines are
 // tracked in the report's deadlines section, and a heap-allocator traffic
@@ -60,13 +72,18 @@
 // Exit status: 0 on a drained run, 2 on a usage error (contradictory flags,
 // like -io-* knobs without -io or with -replay) and when the run deadlocked
 // (the progress watchdog saw no transaction move), 3 when the simulated-time
-// budget ran out first, 1 on I/O errors.
+// budget ran out first, 1 on I/O errors. Both non-drained outcomes dump a
+// structured stall report to stderr — fullest FIFOs, per-initiator oldest
+// outstanding transaction, last progress per clock domain, counters still
+// moving in the final watchdog window — whether or not telemetry was on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"mpsocsim/internal/attr"
@@ -75,6 +92,7 @@ import (
 	"mpsocsim/internal/platform"
 	"mpsocsim/internal/replay"
 	"mpsocsim/internal/stats"
+	"mpsocsim/internal/telemetry"
 	"mpsocsim/internal/trace"
 	"mpsocsim/internal/tracecap"
 )
@@ -121,6 +139,9 @@ func main() {
 	ioIRQDeadline := flag.Int64("io-irq-deadline", 0, "per-event service deadline in I/O-clock cycles (0 = default 256; needs -io)")
 	ioIRQEvents := flag.Int("io-irq-events", 0, "events per device agent (0 = default, scaled by -scale; needs -io)")
 	ioAllocOps := flag.Int("io-alloc-ops", 0, "heap-allocator malloc/free operations (0 = default, negative disables it; needs -io)")
+	telemetryFile := flag.String("telemetry", "", "stream NDJSON telemetry records (schema mpsocsim.telemetry/1) to this file while the run executes")
+	telemetryEvery := flag.Int64("telemetry-every", platform.DefaultTelemetryEvery, "telemetry snapshot cadence in central cycles (for -telemetry/-live)")
+	liveAddr := flag.String("live", "", "serve live run telemetry over HTTP on this address (/metrics Prometheus text, /events SSE, /progress JSON)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -286,6 +307,32 @@ func main() {
 			p.EnableAttribution(retain)
 		}
 	}
+	// Telemetry attaches on both the fresh-build and restore paths: the
+	// collector is not part of a checkpoint (it observes, never simulates),
+	// so a restored run re-enables it here and snapshots at exactly the
+	// cadence instants the uninterrupted run would.
+	var streamer *telemetry.Streamer
+	var teleOut *os.File
+	if *telemetryFile != "" || *liveAddr != "" {
+		col := p.EnableTelemetry(*telemetryEvery, 0)
+		if *telemetryFile != "" {
+			f, err := os.Create(*telemetryFile)
+			if err != nil {
+				fatalf("telemetry: %v", err)
+			}
+			teleOut = f
+			streamer = telemetry.NewStreamer(f, col)
+			streamer.Start()
+		}
+		if *liveAddr != "" {
+			ln, err := net.Listen("tcp", *liveAddr)
+			if err != nil {
+				fatalf("live: %v", err)
+			}
+			go http.Serve(ln, telemetry.NewServer(col).Handler())
+			fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics /events /progress)\n", ln.Addr())
+		}
+	}
 	if *checkpointFile != "" || *checkpointAt != 0 {
 		// Checkpoint before sharding: Snapshot requires the serial platform
 		// (a later -restore can still re-shard the remainder).
@@ -320,6 +367,19 @@ func main() {
 		}
 	}
 	r := p.Run(budget)
+	if streamer != nil {
+		if err := streamer.Close(); err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		if n := streamer.Skipped(); n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"mpsocsim: warning: telemetry ring overflowed, %d oldest records lost — raise -telemetry-every\n", n)
+		}
+		if err := teleOut.Close(); err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d telemetry records\n", *telemetryFile, streamer.Written())
+	}
 	if err := r.WriteSummary(os.Stdout); err != nil {
 		fatalf("report: %v", err)
 	}
@@ -391,16 +451,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (load in ui.perfetto.dev)\n", *chromeFile)
 	}
+	// Both non-drained outcomes dump the run-health forensics, independent
+	// of -telemetry/-live: the stall trackers behind the report are always
+	// on, so a wedged overnight run explains itself without a re-run.
 	switch {
 	case r.Stalled:
 		fmt.Fprintf(os.Stderr,
-			"mpsocsim: DEADLOCK: no transaction issued or completed over the watchdog window at %.3f ms simulated (issued=%d completed=%d) — the configuration stalled, not the budget\n",
+			"mpsocsim: DEADLOCK: no transaction issued or completed over the watchdog window at %.3f ms simulated (issued=%d completed=%d) — the configuration stalled, not the budget\n\n",
 			r.ExecMS(), r.Issued, r.Completed)
+		p.StallReport("progress watchdog fired: no transaction moved for 200000 central cycles", 10).Write(os.Stderr)
 		os.Exit(exitStalled)
 	case !r.Done:
 		fmt.Fprintf(os.Stderr,
-			"mpsocsim: run did not drain within the %v ms budget (issued=%d completed=%d) — raise -budget or shrink -scale\n",
+			"mpsocsim: run did not drain within the %v ms budget (issued=%d completed=%d) — raise -budget or shrink -scale\n\n",
 			*budgetMS, r.Issued, r.Completed)
+		p.StallReport(fmt.Sprintf("simulated-time budget (%v ms) exhausted with work in flight", *budgetMS), 10).Write(os.Stderr)
 		os.Exit(exitOverBudget)
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpsocsim/internal/telemetry"
+)
+
+// TestMain lets the test binary stand in for the real CLI: when re-executed
+// with MPSOCSIM_RUN_MAIN=1 it runs main() instead of the test suite, so the
+// exit-code contracts below are checked against the genuine flag parsing,
+// run loop and stderr forensics without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPSOCSIM_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes the test binary as the CLI with the given arguments.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "MPSOCSIM_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestDeadlockExitsWithStallReport wedges the run on purpose (interrupt
+// agents waiting for device events far beyond the watchdog window, every
+// other I/O source disabled) and asserts the exit-2 contract: the DEADLOCK
+// diagnostic plus the full stall-forensics dump on stderr, with no
+// telemetry flag set.
+func TestDeadlockExitsWithStallReport(t *testing.T) {
+	_, stderr, code := runCLI(t,
+		"-scale", "0.05",
+		"-io",
+		"-io-irq-period", "4000000",
+		"-io-irq-events", "4",
+		"-io-dma-desc", "-1",
+		"-io-alloc-ops", "-1",
+		"-budget", "5000",
+	)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (deadlock)\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"DEADLOCK",
+		"stall report: progress watchdog fired",
+		"fullest FIFOs",
+		"oldest outstanding per initiator",
+		"last progress per clock domain",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestBudgetExhaustionExitsWithStallReport covers the exit-3 path: a budget
+// far too small to drain the default workload still produces the forensic
+// dump.
+func TestBudgetExhaustionExitsWithStallReport(t *testing.T) {
+	_, stderr, code := runCLI(t, "-scale", "0.3", "-budget", "0.01")
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (over budget)\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"did not drain",
+		"stall report: simulated-time budget",
+		"fullest FIFOs",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestTelemetryFlagWritesNDJSON runs a small draining workload with
+// -telemetry and validates the emitted stream: one JSON object per line,
+// each carrying the schema tag and dense sequence numbers.
+func TestTelemetryFlagWritesNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tele.ndjson")
+	_, stderr, code := runCLI(t,
+		"-scale", "0.2",
+		"-telemetry", path,
+		"-telemetry-every", "256",
+	)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("telemetry file is empty")
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if m["schema"] != telemetry.Schema {
+			t.Fatalf("line %d schema = %v", i, m["schema"])
+		}
+		if got := int64(m["seq"].(float64)); got != int64(i) {
+			t.Fatalf("line %d seq = %d", i, got)
+		}
+	}
+	if !strings.Contains(stderr, "telemetry records") {
+		t.Errorf("stderr missing the record-count summary:\n%s", stderr)
+	}
+}

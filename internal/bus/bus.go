@@ -139,6 +139,34 @@ type PortProbe interface {
 	RequestCompleted(r *Request, cycle int64)
 }
 
+// teeProbe fans one port's lifecycle events out to two probes, in order.
+type teeProbe struct{ a, b PortProbe }
+
+func (t teeProbe) RequestIssued(r *Request) {
+	t.a.RequestIssued(r)
+	t.b.RequestIssued(r)
+}
+
+func (t teeProbe) RequestCompleted(r *Request, cycle int64) {
+	t.a.RequestCompleted(r, cycle)
+	t.b.RequestCompleted(r, cycle)
+}
+
+// TeeProbes composes probes into one, dropping nils: a port has a single
+// Probe slot, so a second observer (trace capture over the always-on
+// telemetry stall tracker) chains through a tee rather than displacing the
+// first. Probes fire in argument order; both remain passive, so the order
+// is unobservable in results.
+func TeeProbes(a, b PortProbe) PortProbe {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return teeProbe{a, b}
+}
+
 // InitiatorPort attaches an initiator to a fabric: the initiator pushes
 // Requests into Req and pops response Beats from Resp. The fabric owns the
 // arbitration over when Req entries drain.

@@ -20,6 +20,7 @@ import (
 	"mpsocsim/internal/platform"
 	"mpsocsim/internal/runner"
 	"mpsocsim/internal/stats"
+	"mpsocsim/internal/telemetry"
 )
 
 // Budget is the simulated-time budget per run (5 ms is ample for every
@@ -52,6 +53,13 @@ type Options struct {
 	// with or without it; only wall-clock changes. Single-layer §4.1 runs
 	// are too short to checkpoint and always run cold.
 	Cache *SnapCache
+	// Live, when non-nil, aggregates every full-platform run's in-run
+	// telemetry (cycle position, simulated time against the budget) onto
+	// one surface: the runner's progress line gains an aggregate cycles/s
+	// and slowest-job ETA suffix, and the CLI can serve the hub's JSON
+	// progress document over HTTP (-live). Purely observational: results
+	// are byte-identical with or without it.
+	Live *telemetry.Hub
 }
 
 func (o *Options) normalize() {
@@ -65,7 +73,11 @@ func (o *Options) normalize() {
 
 // pool translates the options into runner options for one labelled fan-out.
 func (o Options) pool(label string) runner.Options {
-	return runner.Options{Workers: o.Workers, Progress: o.Progress, Label: label}
+	ro := runner.Options{Workers: o.Workers, Progress: o.Progress, Label: label}
+	if o.Live != nil {
+		ro.Extra = o.Live.Line
+	}
+	return ro
 }
 
 // Entry is one bar/point of a figure.
@@ -132,13 +144,30 @@ func buildPlatform(spec platform.Spec, shards int) (*platform.Platform, error) {
 // warm-up checkpoint instead of building fresh.
 func platformJob(name string, spec platform.Spec, o Options) runner.Job[platform.Result] {
 	return runner.Job[platform.Result]{Name: name, Run: func() (platform.Result, error) {
+		// With a live hub the run publishes its position from the telemetry
+		// collector's hook: a coarse cadence (16k central cycles) keeps the
+		// per-snapshot cost invisible, and the tiny ring is never drained —
+		// only the latest position matters for aggregation.
+		var attach func(*platform.Platform)
+		if o.Live != nil {
+			jp := o.Live.Job(name, Budget)
+			defer jp.Finish()
+			attach = func(p *platform.Platform) {
+				col := p.EnableTelemetry(16384, 16)
+				col.SetPublish(jp.Publish)
+				col.SetBudgetPS(Budget)
+			}
+		}
 		var r platform.Result
 		var err error
 		if o.Cache != nil {
-			r, err = o.Cache.run(spec, o.Shards)
+			r, err = o.Cache.run(spec, o.Shards, attach)
 		} else {
 			var p *platform.Platform
 			if p, err = buildPlatform(spec, o.Shards); err == nil {
+				if attach != nil {
+					attach(p)
+				}
 				r = p.Run(Budget)
 			}
 		}

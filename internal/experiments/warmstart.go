@@ -74,12 +74,17 @@ func (c *SnapCache) entry(spec platform.Spec) string {
 // run executes one full-platform run, warm-starting from a cached prefix
 // checkpoint when one exists and priming the cache when it does not. The
 // result is bit-identical either way (modulo Result.ResumedFromCycle, which
-// records where the restore happened).
-func (c *SnapCache) run(spec platform.Spec, shards int) (platform.Result, error) {
+// records where the restore happened). attach, when non-nil, is called on
+// the platform before the finishing run — the live-telemetry hook-up point
+// (collectors are not part of a checkpoint, so a restored run re-attaches).
+func (c *SnapCache) run(spec platform.Spec, shards int, attach func(*platform.Platform)) (platform.Result, error) {
 	path := c.entry(spec)
 	if data, err := os.ReadFile(path); err == nil {
 		if p, err := platform.Restore(spec, bytes.NewReader(data)); err == nil {
 			c.hits.Add(1)
+			if attach != nil {
+				attach(p)
+			}
 			return finishRun(p, shards)
 		}
 		// A stale or torn entry (format bump mid-hash-collision, partial
@@ -90,6 +95,9 @@ func (c *SnapCache) run(spec platform.Spec, shards int) (platform.Result, error)
 	p, err := platform.Build(spec)
 	if err != nil {
 		return platform.Result{}, err
+	}
+	if attach != nil {
+		attach(p)
 	}
 	if p.RunToCycle(c.prefix, Budget) {
 		var buf bytes.Buffer

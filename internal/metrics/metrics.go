@@ -269,6 +269,52 @@ func (s *Snapshot) Histogram(name string) *HistogramValue {
 	return nil
 }
 
+// DiffCounters returns cur - prev for every counter that moved, preserving
+// cur's order. The fast path assumes both slices enumerate the same
+// instruments in the same order (registration order is fixed per Build);
+// when the shapes differ — snapshots of different platforms — prev is
+// matched by name and unmatched counters diff against zero. The telemetry
+// layer derives counter rates from consecutive snapshots with it, and the
+// stall forensics use it to show what still moved in the last watchdog
+// window.
+func DiffCounters(cur, prev []CounterValue) []CounterValue {
+	aligned := len(cur) == len(prev)
+	if aligned {
+		for i := range cur {
+			if cur[i].Name != prev[i].Name {
+				aligned = false
+				break
+			}
+		}
+	}
+	var byName map[string]int64
+	if !aligned {
+		byName = make(map[string]int64, len(prev))
+		for _, p := range prev {
+			byName[p.Name] = p.Value
+		}
+	}
+	var out []CounterValue
+	for i := range cur {
+		var base int64
+		if aligned {
+			base = prev[i].Value
+		} else {
+			base = byName[cur[i].Name]
+		}
+		if d := cur[i].Value - base; d != 0 {
+			out = append(out, CounterValue{Name: cur[i].Name, Value: d})
+		}
+	}
+	return out
+}
+
+// DeltaCounters returns the counters that moved between prev and s (s -
+// prev), in s's enumeration order.
+func (s *Snapshot) DeltaCounters(prev *Snapshot) []CounterValue {
+	return DiffCounters(s.Counters, prev.Counters)
+}
+
 // Gauge returns the named gauge's final level, and whether it exists.
 func (s *Snapshot) Gauge(name string) (int64, bool) {
 	for i := range s.Gauges {

@@ -121,3 +121,41 @@ func TestSamplerNoAllocSteadyState(t *testing.T) {
 		t.Fatalf("sampler Eval allocates: %.2f allocs/cycle (want 0)", allocs)
 	}
 }
+
+func TestDiffCountersAligned(t *testing.T) {
+	prev := []CounterValue{{Name: "a", Value: 10}, {Name: "b", Value: 20}, {Name: "c", Value: 5}}
+	cur := []CounterValue{{Name: "a", Value: 10}, {Name: "b", Value: 27}, {Name: "c", Value: 6}}
+	got := DiffCounters(cur, prev)
+	if len(got) != 2 {
+		t.Fatalf("got %d deltas, want 2 (unchanged counters dropped)", len(got))
+	}
+	if got[0].Name != "b" || got[0].Value != 7 || got[1].Name != "c" || got[1].Value != 1 {
+		t.Fatalf("deltas = %+v", got)
+	}
+}
+
+func TestDiffCountersMisaligned(t *testing.T) {
+	// prev is shorter and differently ordered: the name-map fallback must
+	// treat missing baselines as zero and still emit deltas in cur order.
+	prev := []CounterValue{{Name: "b", Value: 20}}
+	cur := []CounterValue{{Name: "a", Value: 3}, {Name: "b", Value: 20}, {Name: "c", Value: 4}}
+	got := DiffCounters(cur, prev)
+	if len(got) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(got))
+	}
+	if got[0].Name != "a" || got[0].Value != 3 || got[1].Name != "c" || got[1].Value != 4 {
+		t.Fatalf("deltas = %+v", got)
+	}
+}
+
+func TestSnapshotDeltaCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("grants")
+	c.Add(5)
+	before := r.Snapshot()
+	c.Add(3)
+	got := r.Snapshot().DeltaCounters(before)
+	if len(got) != 1 || got[0].Name != "grants" || got[0].Value != 3 {
+		t.Fatalf("delta = %+v", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mpsocsim/internal/replay"
 	"mpsocsim/internal/sim"
 	"mpsocsim/internal/stbus"
+	"mpsocsim/internal/telemetry"
 	"mpsocsim/internal/tracecap"
 )
 
@@ -134,6 +135,30 @@ type Platform struct {
 	// wdLastProg to -1 (no observation yet).
 	wdLastProg  int64
 	wdLastCheck int64
+	// wdCounters holds the counter baseline copied at the last watchdog
+	// observation and wdPrevCounters the one before it (both preallocated in
+	// Build, written in place), so a stall report can show which counters
+	// still moved in the final window — falling back to the previous window
+	// when the run ended on the very cycle the baseline was refreshed (whole-
+	// ms budgets land on watchdog-window multiples routinely, which would
+	// otherwise diff a zero-width window). wdObservations counts refreshes;
+	// wdObservedCycle is the cycle of the newest one.
+	wdCounters      []metrics.CounterValue
+	wdPrevCounters  []metrics.CounterValue
+	wdObservations  int64
+	wdObservedCycle int64
+
+	// Live-telemetry state (nil/zero until EnableTelemetry): the snapshot
+	// collector, its cadence in central cycles, the next snapshot cycle and
+	// the last snapshotted cycle (to avoid a duplicate final record).
+	tele          *telemetry.Collector
+	teleEvery     int64
+	teleNext      int64
+	teleLastCycle int64
+
+	// stallTrackers are the always-on run-health probes, one per traffic
+	// source, parallel to gens. Build attaches them; StallReport reads them.
+	stallTrackers []*telemetry.PortTracker
 
 	// resumedPS/resumedCycles mark the restore point (zero for a fresh
 	// Build). EnableSharding's pre-run guard and Result.ResumedFromCycle
@@ -234,6 +259,9 @@ func Build(spec Spec) (*Platform, error) {
 	}
 	p.wirePool()
 	p.registerMetrics()
+	p.attachStallTrackers()
+	p.wdCounters = make([]metrics.CounterValue, len(p.Metrics.Counters()))
+	p.wdPrevCounters = make([]metrics.CounterValue, len(p.Metrics.Counters()))
 	return p, nil
 }
 
@@ -606,7 +634,9 @@ func (p *Platform) newInitiator(ipCfg iptg.Config, clk *sim.Clock, origin int) (
 // round-trip determinism suite proves bit-identical reproduction.
 func (p *Platform) AttachCapture(c *tracecap.Capture) {
 	for i, g := range p.gens {
-		g.Port().Probe = c.Probe(g.Name(), p.genClk[i].PeriodPS())
+		// Tee over the always-on stall tracker rather than displacing it —
+		// a port has a single Probe slot.
+		g.Port().Probe = bus.TeeProbes(g.Port().Probe, c.Probe(g.Name(), p.genClk[i].PeriodPS()))
 	}
 	p.capture = c
 }

@@ -71,10 +71,15 @@ type Result struct {
 // time elapses, or the progress watchdog detects a stall (no transaction
 // issued or completed over a long window — a deadlocked configuration).
 func (p *Platform) Run(maxPS int64) Result {
+	if p.tele != nil {
+		p.tele.SetBudgetPS(maxPS)
+		p.tele.SetShards(p.shards)
+	}
 	if p.sharded {
 		return p.runSharded(maxPS)
 	}
 	drained, stalled, _ := p.runSerial(maxPS, -1)
+	p.finishTelemetry()
 	r := p.collect(drained)
 	r.Stalled = stalled
 	return r
@@ -119,6 +124,7 @@ func (p *Platform) runSerial(maxPS, stopAtCycle int64) (drained, stalled, paused
 		if !p.Kernel.Step() {
 			return false, false, false
 		}
+		p.pollTelemetry()
 		if c := p.CentralClk.Cycles(); c-p.wdLastCheck >= stallWindow {
 			prog := progress()
 			if prog == p.wdLastProg {
@@ -126,6 +132,7 @@ func (p *Platform) runSerial(maxPS, stopAtCycle int64) (drained, stalled, paused
 			}
 			p.wdLastProg = prog
 			p.wdLastCheck = c
+			p.observeWatchdogCounters()
 		}
 	}
 	return true, false, false

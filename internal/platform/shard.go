@@ -355,6 +355,10 @@ func (p *Platform) runSharded(maxPS int64) Result {
 
 	for pending() && unfinished() > p.tailThreshold && ex.next < maxPS {
 		ex.window()
+		if p.tele != nil {
+			p.tele.AddWindow()
+		}
+		p.pollTelemetry()
 		if c := p.CentralClk.Cycles(); c-p.wdLastCheck >= stallWindow {
 			if prog := progress(); prog == p.wdLastProg {
 				done = false
@@ -362,6 +366,7 @@ func (p *Platform) runSharded(maxPS int64) Result {
 				break
 			} else {
 				p.wdLastProg = prog
+				p.observeWatchdogCounters()
 			}
 			p.wdLastCheck = c
 		}
@@ -377,6 +382,7 @@ func (p *Platform) runSharded(maxPS int64) Result {
 				done = false
 				break
 			}
+			p.pollTelemetry()
 			if c := p.CentralClk.Cycles(); c-p.wdLastCheck >= stallWindow {
 				if prog := progress(); prog == p.wdLastProg {
 					done = false
@@ -384,6 +390,7 @@ func (p *Platform) runSharded(maxPS int64) Result {
 					break
 				} else {
 					p.wdLastProg = prog
+					p.observeWatchdogCounters()
 				}
 				p.wdLastCheck = c
 			}
@@ -394,6 +401,7 @@ func (p *Platform) runSharded(maxPS int64) Result {
 	// shard kernels); stamp the final instant back so collect() reads the
 	// same ExecPS a serial run would report.
 	p.Kernel.SetNow(ex.now)
+	p.finishTelemetry()
 	r := p.collect(done)
 	r.Stalled = stalled
 	return r

@@ -64,6 +64,12 @@ type Options struct {
 	Progress io.Writer
 	// Label prefixes the progress line (e.g. "fig4").
 	Label string
+	// Extra, when non-nil, supplies a live suffix appended to the progress
+	// line — the experiments harness plugs the telemetry hub's aggregate
+	// cycles/s and slowest-job ETA in here. It is polled from a repaint
+	// ticker between job completions, so the suffix stays fresh while
+	// long jobs run; it must be safe for concurrent use.
+	Extra func() string
 }
 
 func (o Options) workers() int {
@@ -81,7 +87,8 @@ func Map[T any](jobs []Job[T], opts Options) []Result[T] {
 	if len(jobs) == 0 {
 		return results
 	}
-	prog := newProgress(opts.Progress, opts.Label, len(jobs))
+	prog := newProgress(opts.Progress, opts.Label, len(jobs), opts.Extra)
+	defer prog.finish()
 	run := func(i int) {
 		start := time.Now()
 		results[i].Name = jobs[i].Name
@@ -95,7 +102,6 @@ func Map[T any](jobs []Job[T], opts Options) []Result[T] {
 		for i := range jobs {
 			run(i)
 		}
-		prog.finish()
 		return results
 	}
 	if workers > len(jobs) {
@@ -117,7 +123,6 @@ func Map[T any](jobs []Job[T], opts Options) []Result[T] {
 	}
 	close(indices)
 	wg.Wait()
-	prog.finish()
 	return results
 }
 
@@ -157,35 +162,90 @@ func First[T any](results []Result[T]) (T, error) {
 }
 
 // progress renders the live completion line. All methods are safe for
-// concurrent use; a nil writer disables everything at ~zero cost.
+// concurrent use; a nil writer disables everything at ~zero cost. When an
+// Extra supplier is configured, a repaint goroutine refreshes the line twice
+// a second so the live suffix (aggregate cycles/s, per-job ETA) moves while
+// long jobs run.
 type progress struct {
 	w     io.Writer
 	label string
 	total int
 	start time.Time
+	extra func() string
+	stop  chan struct{}
 
-	mu   sync.Mutex
-	done atomic.Int64
+	mu       sync.Mutex
+	lastName string
+	width    int
+	finished bool
+	done     atomic.Int64
 }
 
-func newProgress(w io.Writer, label string, total int) *progress {
-	return &progress{w: w, label: label, total: total, start: time.Now()}
+func newProgress(w io.Writer, label string, total int, extra func() string) *progress {
+	p := &progress{w: w, label: label, total: total, start: time.Now(), extra: extra, stop: make(chan struct{})}
+	if w != nil && extra != nil {
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-tick.C:
+					p.repaint()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// render writes one overwrite-in-place line; caller holds mu.
+func (p *progress) render() {
+	done := int(p.done.Load())
+	elapsed := time.Since(p.start)
+	var eta time.Duration
+	if done > 0 {
+		eta = time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
+	}
+	line := fmt.Sprintf("%s[%d/%d] %-24s %s elapsed, eta %s",
+		p.prefix(), done, p.total, p.lastName, elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+	if p.extra != nil {
+		if s := p.extra(); s != "" {
+			line += " " + s
+		}
+	}
+	p.print(line)
+}
+
+// print pads the line to the widest one rendered so far, so a shrinking
+// suffix never leaves stale characters behind.
+func (p *progress) print(line string) {
+	if n := len(line); n > p.width {
+		p.width = n
+	}
+	fmt.Fprintf(p.w, "\r%-*s", p.width, line)
 }
 
 func (p *progress) step(name string) {
 	if p.w == nil {
 		return
 	}
-	done := int(p.done.Add(1))
-	elapsed := time.Since(p.start)
-	var eta time.Duration
-	if done > 0 {
-		eta = time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
-	}
+	p.done.Add(1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	fmt.Fprintf(p.w, "\r%s[%d/%d] %-24s %s elapsed, eta %s   ",
-		p.prefix(), done, p.total, name, elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+	p.lastName = name
+	p.render()
+}
+
+// repaint refreshes the current line without a completion event.
+func (p *progress) repaint() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	p.render()
 }
 
 func (p *progress) finish() {
@@ -194,9 +254,14 @@ func (p *progress) finish() {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	fmt.Fprintf(p.w, "\r%s[%d/%d] done in %s%s\n",
-		p.prefix(), p.done.Load(), p.total, time.Since(p.start).Round(time.Millisecond),
-		"                              ")
+	if p.finished {
+		return
+	}
+	p.finished = true
+	close(p.stop)
+	p.print(fmt.Sprintf("%s[%d/%d] done in %s",
+		p.prefix(), p.done.Load(), p.total, time.Since(p.start).Round(time.Millisecond)))
+	fmt.Fprintln(p.w)
 }
 
 func (p *progress) prefix() string {

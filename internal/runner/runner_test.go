@@ -119,3 +119,20 @@ func TestEmptyMap(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+func TestProgressExtraSuffix(t *testing.T) {
+	var sb strings.Builder
+	Map([]Job[int]{jobN(0), jobN(1)}, Options{
+		Workers:  1,
+		Progress: &sb,
+		Label:    "io",
+		Extra:    func() string { return "| 2.1M cyc/s, 3 running" },
+	})
+	out := sb.String()
+	if !strings.Contains(out, "| 2.1M cyc/s, 3 running") {
+		t.Fatalf("progress output missing the Extra suffix:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("progress must end with a newline: %q", out)
+	}
+}

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mpsocsim/internal/bus"
+	"mpsocsim/internal/metrics"
+	"mpsocsim/internal/stats"
+)
+
+// PortTracker is the always-on run-health probe on one initiator port: a
+// preallocated in-flight table keyed by request ID, plus the last cycle the
+// initiator issued or completed anything. It implements bus.PortProbe and is
+// passive and allocation-free, so attaching one to every port (platform
+// Build does) costs nothing observable. On a wedged run the trackers answer
+// the two forensic questions the watchdog cannot: which transactions have
+// been in flight the longest, and when each clock domain last made progress.
+//
+// Posted writes are recorded for last-issue tracking but not entered into
+// the in-flight table: they complete at issue (the fabric acks them at
+// acceptance) and never produce a RequestCompleted call.
+type PortTracker struct {
+	name  string
+	clock string
+
+	ids []uint64
+	iss []int64 // issue instants, absolute picoseconds
+	n   int
+	// overflow counts issues dropped because the table was full (only
+	// possible if an initiator exceeds its declared MaxConcurrent bound).
+	overflow int64
+
+	lastIssueCycle    int64
+	lastCompleteCycle int64
+}
+
+// NewPortTracker builds a tracker for the named initiator in the named clock
+// domain, with table capacity cap (clamped to >= 4).
+func NewPortTracker(name, clock string, cap int) *PortTracker {
+	if cap < 4 {
+		cap = 4
+	}
+	return &PortTracker{
+		name: name, clock: clock,
+		ids: make([]uint64, cap), iss: make([]int64, cap),
+		lastIssueCycle: -1, lastCompleteCycle: -1,
+	}
+}
+
+// Name returns the tracked initiator's name.
+func (t *PortTracker) Name() string { return t.name }
+
+// Clock returns the initiator's clock-domain name.
+func (t *PortTracker) Clock() string { return t.clock }
+
+// RequestIssued implements bus.PortProbe. Allocation-free.
+func (t *PortTracker) RequestIssued(r *bus.Request) {
+	t.lastIssueCycle = r.IssueCycle
+	if r.Posted {
+		return
+	}
+	if t.n == len(t.ids) {
+		t.overflow++
+		return
+	}
+	t.ids[t.n] = r.ID
+	t.iss[t.n] = r.IssuePS
+	t.n++
+}
+
+// RequestCompleted implements bus.PortProbe. Allocation-free.
+func (t *PortTracker) RequestCompleted(r *bus.Request, cycle int64) {
+	t.lastCompleteCycle = cycle
+	for i := 0; i < t.n; i++ {
+		if t.ids[i] == r.ID {
+			t.n--
+			t.ids[i], t.iss[i] = t.ids[t.n], t.iss[t.n]
+			return
+		}
+	}
+}
+
+// InFlight returns the tracked in-flight count.
+func (t *PortTracker) InFlight() int { return t.n }
+
+// Oldest returns the longest-outstanding tracked transaction.
+func (t *PortTracker) Oldest() (id uint64, issuePS int64, ok bool) {
+	if t.n == 0 {
+		return 0, 0, false
+	}
+	best := 0
+	for i := 1; i < t.n; i++ {
+		if t.iss[i] < t.iss[best] {
+			best = i
+		}
+	}
+	return t.ids[best], t.iss[best], true
+}
+
+// LastIssueCycle returns the initiator-domain cycle of the last issue (-1
+// when nothing was ever issued).
+func (t *PortTracker) LastIssueCycle() int64 { return t.lastIssueCycle }
+
+// LastCompleteCycle returns the initiator-domain cycle of the last tracked
+// completion (-1 when nothing completed).
+func (t *PortTracker) LastCompleteCycle() int64 { return t.lastCompleteCycle }
+
+// Overflow returns how many issues the table could not record.
+func (t *PortTracker) Overflow() int64 { return t.overflow }
+
+// FifoFill is one FIFO's occupancy row of a stall report.
+type FifoFill struct {
+	Name  string  `json:"name"`
+	Len   int     `json:"len"`
+	Depth int     `json:"depth"`
+	Fill  float64 `json:"fill"`
+}
+
+// InitiatorHealth is one initiator's row: cumulative counts, in-flight
+// occupancy and the oldest outstanding transaction's identity and age.
+type InitiatorHealth struct {
+	Name      string `json:"name"`
+	Clock     string `json:"clock"`
+	Issued    int64  `json:"issued"`
+	Completed int64  `json:"completed"`
+	InFlight  int    `json:"in_flight"`
+	// OldestID/OldestAgePS identify the longest-outstanding transaction
+	// (zero when nothing is in flight).
+	OldestID    uint64 `json:"oldest_id,omitempty"`
+	OldestAgePS int64  `json:"oldest_age_ps,omitempty"`
+	// LastIssueCycle/LastCompleteCycle are in the initiator's own clock
+	// domain; -1 means never.
+	LastIssueCycle    int64 `json:"last_issue_cycle"`
+	LastCompleteCycle int64 `json:"last_complete_cycle"`
+}
+
+// DomainHealth is one clock domain's row: how far it ticked and the last
+// cycle any of its initiators made progress (-1 when the domain has no
+// tracked initiator or none ever moved).
+type DomainHealth struct {
+	Clock             string `json:"clock"`
+	Cycles            int64  `json:"cycles"`
+	LastProgressCycle int64  `json:"last_progress_cycle"`
+}
+
+// StallReport is the structured run-health dump emitted when the progress
+// watchdog fires (exit 2) or the simulated-time budget is blown (exit 3):
+// the fullest FIFOs, per-initiator oldest-outstanding ages, per-domain last
+// progress and the counters that still moved during the final watchdog
+// window (what was alive vs what wedged).
+type StallReport struct {
+	Reason    string `json:"reason"`
+	Cycle     int64  `json:"cycle"`
+	TimePS    int64  `json:"time_ps"`
+	Issued    int64  `json:"issued"`
+	Completed int64  `json:"completed"`
+
+	Fifos      []FifoFill        `json:"fifos"`
+	Initiators []InitiatorHealth `json:"initiators"`
+	Domains    []DomainHealth    `json:"domains"`
+	// Moved lists the registry counters that advanced during the last
+	// watchdog observation window, with their deltas.
+	Moved []metrics.CounterValue `json:"moved,omitempty"`
+}
+
+// SortFifos orders rows fullest-first (name-ascending tie-break) and
+// truncates to the top n (n <= 0 keeps everything).
+func SortFifos(rows []FifoFill, n int) []FifoFill {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Fill != rows[j].Fill {
+			return rows[i].Fill > rows[j].Fill
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Write renders the report as the human-readable stderr dump.
+func (r *StallReport) Write(w io.Writer) error {
+	fmt.Fprintf(w, "stall report: %s\n", r.Reason)
+	fmt.Fprintf(w, "at cycle %d (%.3f ms simulated), issued=%d completed=%d in_flight=%d\n\n",
+		r.Cycle, float64(r.TimePS)/1e9, r.Issued, r.Completed, r.Issued-r.Completed)
+
+	fmt.Fprintf(w, "fullest FIFOs (top %d):\n", len(r.Fifos))
+	ftbl := stats.NewTable("fifo", "len", "depth", "fill")
+	for _, f := range r.Fifos {
+		ftbl.AddRow(f.Name, fmt.Sprint(f.Len), fmt.Sprint(f.Depth), fmt.Sprintf("%.0f%%", 100*f.Fill))
+	}
+	if err := ftbl.Write(w); err != nil {
+		return err
+	}
+
+	fmt.Fprint(w, "\noldest outstanding per initiator:\n")
+	itbl := stats.NewTable("initiator", "clock", "issued", "completed", "in_flight", "oldest_id", "oldest_age_us", "last_issue_cyc", "last_complete_cyc")
+	for _, in := range r.Initiators {
+		oldest, age := "-", "-"
+		if in.InFlight > 0 {
+			oldest = fmt.Sprintf("%#x", in.OldestID)
+			age = fmt.Sprintf("%.2f", float64(in.OldestAgePS)/1e6)
+		}
+		itbl.AddRow(in.Name, in.Clock, fmt.Sprint(in.Issued), fmt.Sprint(in.Completed),
+			fmt.Sprint(in.InFlight), oldest, age,
+			fmt.Sprint(in.LastIssueCycle), fmt.Sprint(in.LastCompleteCycle))
+	}
+	if err := itbl.Write(w); err != nil {
+		return err
+	}
+
+	fmt.Fprint(w, "\nlast progress per clock domain:\n")
+	dtbl := stats.NewTable("clock", "cycles", "last_progress_cycle", "idle_cycles")
+	for _, d := range r.Domains {
+		idle := "-"
+		if d.LastProgressCycle >= 0 {
+			idle = fmt.Sprint(d.Cycles - d.LastProgressCycle)
+		}
+		dtbl.AddRow(d.Clock, fmt.Sprint(d.Cycles), fmt.Sprint(d.LastProgressCycle), idle)
+	}
+	if err := dtbl.Write(w); err != nil {
+		return err
+	}
+
+	if len(r.Moved) > 0 {
+		fmt.Fprint(w, "\ncounters still moving in the last watchdog window:\n")
+		mtbl := stats.NewTable("counter", "delta")
+		for _, m := range r.Moved {
+			mtbl.AddRow(m.Name, fmt.Sprint(m.Value))
+		}
+		if err := mtbl.Write(w); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(w, "\nno counter moved in the last watchdog window (fully wedged)\n")
+	}
+	return nil
+}

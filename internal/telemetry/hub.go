@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HubSchema identifies the multi-job progress document's layout.
+const HubSchema = "mpsocsim.progress.jobs/1"
+
+// JobProgress is one simulation run's live position, updated from the run's
+// telemetry collector via Publish (atomic stores, so the publishing side
+// stays allocation-free and lock-free) and read by the hub's aggregation.
+type JobProgress struct {
+	name     string
+	budgetPS int64
+	start    time.Time
+
+	cycle atomic.Int64
+	ps    atomic.Int64
+	done  atomic.Bool
+}
+
+// Publish records the run's latest snapshot position. Wire it as the
+// collector's publish hook: col.SetPublish(jp.Publish). Allocation-free.
+func (j *JobProgress) Publish(cycle, ps int64) {
+	j.cycle.Store(cycle)
+	j.ps.Store(ps)
+}
+
+// Finish marks the job complete.
+func (j *JobProgress) Finish() { j.done.Store(true) }
+
+// HubJob is one job's row of the aggregate progress document.
+type HubJob struct {
+	Name       string  `json:"name"`
+	Done       bool    `json:"done"`
+	Cycle      int64   `json:"cycle"`
+	TimePS     int64   `json:"time_ps"`
+	BudgetPS   int64   `json:"budget_ps,omitempty"`
+	BudgetFrac float64 `json:"budget_frac,omitempty"`
+	// ETAMS projects wall milliseconds to budget exhaustion from the job's
+	// mean simulation rate — an upper bound; most runs drain earlier.
+	ETAMS float64 `json:"eta_ms,omitempty"`
+}
+
+// HubProgress is the aggregate document served by the hub's /progress.
+type HubProgress struct {
+	Schema  string  `json:"schema"`
+	WallMS  float64 `json:"wall_ms"`
+	Running int     `json:"running"`
+	Total   int     `json:"total"`
+	// CyclesPerSec is the aggregate simulation rate across every live job,
+	// measured over the window since the previous aggregation call.
+	CyclesPerSec float64  `json:"cycles_per_sec"`
+	Jobs         []HubJob `json:"jobs"`
+}
+
+// Hub aggregates many jobs' progress onto one surface: the runner's live
+// progress-line suffix (Line) and a single HTTP endpoint (Handler) for an
+// experiments sweep run with -live. Jobs register as they start; a finished
+// job keeps its final position so aggregate cycle totals stay monotonic.
+type Hub struct {
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     []*JobProgress
+	prevSum  int64
+	prevAt   time.Time
+	prevRate float64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	now := time.Now()
+	return &Hub{start: now, prevAt: now}
+}
+
+// Job registers one run about to start and returns its progress handle.
+// Safe for concurrent use (runner workers register from their goroutines).
+func (h *Hub) Job(name string, budgetPS int64) *JobProgress {
+	j := &JobProgress{name: name, budgetPS: budgetPS, start: time.Now()}
+	h.mu.Lock()
+	h.jobs = append(h.jobs, j)
+	h.mu.Unlock()
+	return j
+}
+
+// rate returns the aggregate cycles/s over the window since the previous
+// call, holding the last value for windows too short to measure.
+func (h *Hub) rate(sum int64) float64 {
+	now := time.Now()
+	dt := now.Sub(h.prevAt).Seconds()
+	if dt < 0.2 {
+		return h.prevRate
+	}
+	h.prevRate = float64(sum-h.prevSum) / dt
+	h.prevSum = sum
+	h.prevAt = now
+	return h.prevRate
+}
+
+// Doc builds the aggregate progress document.
+func (h *Hub) Doc() HubProgress {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	doc := HubProgress{
+		Schema: HubSchema,
+		WallMS: float64(time.Since(h.start).Nanoseconds()) / 1e6,
+		Total:  len(h.jobs),
+	}
+	var sum int64
+	for _, j := range h.jobs {
+		cycle, ps, done := j.cycle.Load(), j.ps.Load(), j.done.Load()
+		sum += cycle
+		row := HubJob{Name: j.name, Done: done, Cycle: cycle, TimePS: ps, BudgetPS: j.budgetPS}
+		if j.budgetPS > 0 {
+			row.BudgetFrac = float64(ps) / float64(j.budgetPS)
+		}
+		if !done {
+			doc.Running++
+			if elapsed := time.Since(j.start).Seconds(); elapsed > 0 && ps > 0 && j.budgetPS > ps {
+				psPerSec := float64(ps) / elapsed
+				row.ETAMS = float64(j.budgetPS-ps) / psPerSec * 1e3
+			}
+		}
+		doc.Jobs = append(doc.Jobs, row)
+	}
+	doc.CyclesPerSec = h.rate(sum)
+	sort.SliceStable(doc.Jobs, func(i, k int) bool { return doc.Jobs[i].Name < doc.Jobs[k].Name })
+	return doc
+}
+
+// Line renders the one-line live suffix for the runner's progress display:
+// aggregate cycles/s and the slowest running job's budget ETA.
+func (h *Hub) Line() string {
+	doc := h.Doc()
+	if doc.Running == 0 {
+		return ""
+	}
+	slowest, eta := "", 0.0
+	for _, j := range doc.Jobs {
+		if !j.Done && j.ETAMS > eta {
+			slowest, eta = j.Name, j.ETAMS
+		}
+	}
+	s := fmt.Sprintf("| %s cyc/s, %d running", siRate(doc.CyclesPerSec), doc.Running)
+	if slowest != "" {
+		s += fmt.Sprintf(", slowest %s eta<=%.1fs", slowest, eta/1e3)
+	}
+	return s
+}
+
+// siRate renders a rate with an SI suffix (1.2M, 430k).
+func siRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Handler serves the hub's aggregate surfaces: /progress (JSON HubProgress)
+// and a text index at /.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "mpsocsim experiments live progress (%s)\n\n/progress  aggregate JSON progress document\n", HubSchema)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h.Doc())
+	})
+	return mux
+}
