@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-full verify bench benchquick fuzz-short cover
+.PHONY: build test vet race race-full verify bench benchquick fuzz-short cover diff-smoke
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,29 @@ race:
 race-full:
 	$(GO) test -race ./...
 
-verify: vet build test race
+verify: vet build test race diff-smoke
+
+# §19 differential-observability smoke: two fabric variants replay the same
+# captured trace, their reports diff into a parseable mpsocsim.diff/1
+# document that is byte-identical across invocations, and the snapshot
+# bisection localizes a seeded wait-state perturbation to a concrete cycle
+# (diverged_at >= 0 — the grep digit class rejects the no-divergence -1).
+# CI runs the same commands in its diff-smoke step.
+diff-smoke:
+	rm -rf .diffsmoke && mkdir -p .diffsmoke
+	$(GO) build -o .diffsmoke/mpsocsim ./cmd/mpsocsim
+	.diffsmoke/mpsocsim -scale 0.2 -capture .diffsmoke/trace.bin >/dev/null
+	.diffsmoke/mpsocsim -scale 0.2 -replay .diffsmoke/trace.bin -report .diffsmoke/a.json >/dev/null
+	.diffsmoke/mpsocsim -scale 0.2 -protocol ahb -replay .diffsmoke/trace.bin -replay-mode elastic -report .diffsmoke/b.json >/dev/null
+	.diffsmoke/mpsocsim diff .diffsmoke/a.json .diffsmoke/b.json > .diffsmoke/d1.json
+	.diffsmoke/mpsocsim diff .diffsmoke/a.json .diffsmoke/b.json > .diffsmoke/d2.json
+	cmp .diffsmoke/d1.json .diffsmoke/d2.json
+	grep -q '"schema": "mpsocsim.diff/1"' .diffsmoke/d1.json
+	printf '[platform]\nmemory = onchip\nwaitstates = 2\nscale = 0.1\n' > .diffsmoke/b.conf
+	.diffsmoke/mpsocsim -memory onchip -scale 0.1 -bisect .diffsmoke/b.conf -bisect-grid 512 > .diffsmoke/bisect.json
+	grep -q '"kind": "bisect"' .diffsmoke/bisect.json
+	grep -q '"diverged_at": [0-9]' .diffsmoke/bisect.json
+	rm -rf .diffsmoke
 
 # Coverage over the full suite: writes the raw profile (coverage.out, the CI
 # artifact) and prints the per-function summary with the total at the bottom.
@@ -47,11 +69,12 @@ fuzz-short:
 	$(GO) test ./internal/platform -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 
 # Perf-trajectory snapshot: benchmarks the simulator and refreshes
-# BENCH_9.json (ns/op, allocs/op, simulated cycles per second, speedup vs
+# BENCH_10.json (ns/op, allocs/op, simulated cycles per second, speedup vs
 # the frozen pre-optimization baseline, instrumentation and I/O-subsystem
 # and live-telemetry overhead fractions, serial-vs-sharded and checkpoint
-# warm-start speedups). `make benchquick` is the smoke variant CI runs:
-# every benchmark once, no JSON.
+# warm-start speedups, report-diff wall clock and the snapshot-bisection
+# step count). `make benchquick` is the smoke variant CI runs: every
+# benchmark once, no JSON.
 bench:
 	$(GO) run ./cmd/bench
 

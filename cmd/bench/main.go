@@ -4,7 +4,7 @@
 // BENCH_<n>.json snapshot next to the previous ones, so the cycles/sec
 // trajectory across PRs lives in the repo itself.
 //
-//	go run ./cmd/bench            # writes BENCH_9.json in the cwd
+//	go run ./cmd/bench            # writes BENCH_10.json in the cwd
 //	go run ./cmd/bench -o out.json
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -18,12 +18,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"testing"
 	"time"
 
+	"mpsocsim/internal/diff"
 	"mpsocsim/internal/experiments"
 	"mpsocsim/internal/platform"
 	"mpsocsim/internal/profiling"
@@ -121,6 +123,19 @@ type Report struct {
 	WarmStartPrefixCycles int64 `json:"warm_start_prefix_cycles"`
 	// WarmStartNote records the measurement methodology.
 	WarmStartNote string `json:"warm_start_note"`
+	// DiffWallclockMS is the §19 artifact-diff cost: wall-clock milliseconds
+	// to compare two finished reference-pair reports and render the
+	// mpsocsim.diff/1 document (reports already in hand, output discarded) —
+	// what CI and the diff subcommand pay per invocation, minus file I/O.
+	// Minimum over rounds, same noise argument as the run-phase interleave.
+	DiffWallclockMS float64 `json:"diff_wallclock_ms"`
+	// BisectSteps is the number of binary-search probes the §19 snapshot
+	// bisection spent localizing the reference pair's first divergent cycle.
+	// The bench asserts it equals ceil(log2(span_hi - span_lo)) exactly —
+	// the bound the search guarantees — so a regression in the protocol
+	// (re-probing, a widened span) fails the bench rather than just
+	// slowing it.
+	BisectSteps int `json:"bisect_steps"`
 }
 
 // referenceBaseline was measured at the seed of this PR (commit 85de9db,
@@ -136,7 +151,7 @@ var referenceBaseline = Baseline{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_9.json", "output file")
+	out := flag.String("o", "BENCH_10.json", "output file")
 	prof := profiling.DefineFlags()
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -488,6 +503,65 @@ func main() {
 	report.WarmStartNote = fmt.Sprintf(
 		"fig5 sweep (5 LMI platform instances, scale 0.25, serial workers): cold pass simulates each run's first %d central cycles, snapshots and primes a fresh cache; warm pass restores the 5 checkpoints and simulates only the remainders. Byte-identical tables both ways; min wall-clock over %d rounds.",
 		int64(warmPrefix), warmRounds)
+
+	// §19 differential observability on a reference pair: the default
+	// platform at bench scale versus the same platform with the SDRAM CAS
+	// latency raised by one memory cycle — a one-knob perturbation whose
+	// first effect the bisection must pin to a single central cycle. The
+	// diff entry times only the comparison + JSON render (both reports
+	// already in hand, output discarded): that is the marginal cost a CI
+	// job or `mpsocsim diff` invocation pays once the runs exist. The
+	// bisection runs once — its wall clock is dominated by the simulation
+	// probes, which the run-phase entries already price — and its step
+	// count is checked against the ceil(log2) bound the search guarantees.
+	diffSpecA := platform.DefaultSpec()
+	diffSpecA.WorkloadScale = 0.25
+	diffSpecB := diffSpecA
+	diffSpecB.LMI.SDRAM.Timing.TCAS++
+	runPair := func(s platform.Spec) *platform.Report {
+		r := platform.MustBuild(s).Run(experiments.Budget)
+		if !r.Done {
+			fatal("diff reference-pair run did not drain")
+		}
+		rep := r.Report()
+		return &rep
+	}
+	repA, repB := runPair(diffSpecA), runPair(diffSpecB)
+	const diffRounds = 40
+	var diffNs float64
+	for round := 0; round < diffRounds; round++ {
+		start := time.Now()
+		d := diff.Reports(repA, repB, "a", "b")
+		if err := d.WriteJSON(io.Discard); err != nil {
+			fatal("diff render: " + err.Error())
+		}
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if round == 0 {
+			if len(d.Counters) == 0 {
+				fatal("reference-pair diff found no shared counters")
+			}
+		}
+		if round == 0 || elapsed < diffNs {
+			diffNs = elapsed
+		}
+	}
+	report.DiffWallclockMS = diffNs / 1e6
+	emit(Entry{Name: "report_diff", Iterations: diffRounds, NsPerOp: diffNs})
+
+	bres, err := diff.Bisect(diffSpecA, diffSpecB, diff.BisectOptions{BudgetPS: experiments.Budget})
+	if err != nil {
+		fatal("bisect: " + err.Error())
+	}
+	if bres.DivergedAt <= 0 {
+		fatal(fmt.Sprintf("reference-pair bisection found no divergence (diverged_at=%d)", bres.DivergedAt))
+	}
+	if want := diff.CeilLog2(bres.SpanHi - bres.SpanLo); bres.Steps != want {
+		fatal(fmt.Sprintf("bisection took %d steps over span (%d,%d], want ceil(log2)=%d",
+			bres.Steps, bres.SpanLo, bres.SpanHi, want))
+	}
+	report.BisectSteps = bres.Steps
+	fmt.Printf("%-24s diverged at cycle %d, span (%d,%d], %d bisect steps\n",
+		"snapshot_bisect", bres.DivergedAt, bres.SpanLo, bres.SpanHi, bres.Steps)
 
 	if ref := report.Benchmarks[0]; ref.NsPerOp > 0 {
 		report.SpeedupNsPerOp = report.Baseline.NsPerOp / ref.NsPerOp

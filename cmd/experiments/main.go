@@ -10,7 +10,9 @@
 //	experiments replay   cross-fabric comparison under recorded stimulus
 //	experiments attr     per-phase latency attribution across protocols
 //	experiments io       IRQ deadlines under a DMA burst storm, per fabric
-//	experiments all      everything above
+//	experiments bisect   first divergent cycle of the STBus-vs-AHB storm
+//	experiments all      everything above (bisect excluded: it is a
+//	                     localization drill-down, not a figure)
 //
 // The -scale flag shrinks or grows the workload; -j bounds how many
 // independent simulation runs execute concurrently (default: all CPUs,
@@ -68,7 +70,7 @@ func main() {
 	liveAddr := flag.String("live", "", "serve aggregate multi-job progress over HTTP on this address (/progress JSON) and add cycles/s + slowest-job ETA to the progress line")
 	prof := profiling.DefineFlags()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|attr|io|ablations [variant]|area|latency|all\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] sec411|sec412|fig3|fig4|fig5|fig6|replay|attr|io|bisect|ablations [variant]|area|latency|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -183,6 +185,12 @@ func run(which string, rest []string, o experiments.Options) error {
 		return r.Write(w)
 	case "io":
 		r, err := experiments.IODeadlines(o)
+		if err != nil {
+			return err
+		}
+		return r.Write(w)
+	case "bisect":
+		r, err := experiments.Bisect(o)
 		if err != nil {
 			return err
 		}

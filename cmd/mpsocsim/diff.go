@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpsocsim/internal/diff"
+)
+
+// runDiffCommand implements `mpsocsim diff [-stream] A B`: a pure artifact
+// comparison of two stored run reports (default) or two telemetry NDJSON
+// streams (-stream), writing the mpsocsim.diff/1 document to stdout. The
+// output is deterministic — the same two inputs render byte-identically —
+// so it can be cached, re-diffed and asserted on in CI.
+func runDiffCommand(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	stream := fs.Bool("stream", false, "inputs are telemetry NDJSON streams (mpsocsim.telemetry/1) instead of report/2 JSON documents")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mpsocsim diff [-stream] A B")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "mpsocsim: usage error: diff wants exactly two input files, got %d\n", fs.NArg())
+		fs.Usage()
+		os.Exit(exitUsage)
+	}
+	a, b := fs.Arg(0), fs.Arg(1)
+
+	var doc interface{ WriteJSON(io.Writer) error }
+	if *stream {
+		d, err := diff.StreamFiles(a, b)
+		if err != nil {
+			fatalf("diff: %v", err)
+		}
+		doc = d
+	} else {
+		ra, err := diff.ReadReportFile(a)
+		if err != nil {
+			fatalf("diff: %v", err)
+		}
+		rb, err := diff.ReadReportFile(b)
+		if err != nil {
+			fatalf("diff: %v", err)
+		}
+		doc = diff.Reports(ra, rb, a, b)
+	}
+	if err := doc.WriteJSON(os.Stdout); err != nil {
+		fatalf("diff: %v", err)
+	}
+}

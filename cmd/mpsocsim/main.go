@@ -59,6 +59,23 @@
 //	mpsocsim -telemetry run.ndjson -telemetry-every 512
 //	mpsocsim -live 127.0.0.1:9100 & curl localhost:9100/progress
 //
+// Differential observability compares two runs. `mpsocsim diff A B` diffs
+// two report/2 JSON documents (or, with -stream, two telemetry NDJSON
+// streams) into a schema-versioned mpsocsim.diff/1 document: counter/gauge/
+// histogram deltas ranked by relative magnitude, attribution dominant-phase
+// flips, deadline regressions — byte-identical across invocations. In run
+// mode, -diff BASELINE.json diffs the finished run against a stored report,
+// -diff-stream BASELINE.ndjson diffs the freshly written -telemetry stream,
+// and -bisect B.conf skips the normal run entirely: it drives the run-flag
+// spec (variant A) and the config-file spec (variant B) in lockstep along a
+// shared snapshot grid and binary-searches the exact first central-clock
+// cycle where observable state diverges, with a forensics context block for
+// that instant:
+//
+//	mpsocsim diff a.json b.json
+//	mpsocsim -protocol ahb -diff stbus.json
+//	mpsocsim -bisect variant-b.conf -bisect-grid 512
+//
 // The I/O subsystem (-io) attaches a descriptor-chain DMA engine, two
 // interrupt-driven device agents whose per-event service deadlines are
 // tracked in the report's deadlines section, and a heap-allocator traffic
@@ -88,6 +105,7 @@ import (
 
 	"mpsocsim/internal/attr"
 	"mpsocsim/internal/config"
+	"mpsocsim/internal/diff"
 	"mpsocsim/internal/metrics"
 	"mpsocsim/internal/platform"
 	"mpsocsim/internal/replay"
@@ -105,6 +123,12 @@ const (
 )
 
 func main() {
+	// `mpsocsim diff A B` is a pure artifact comparison — no simulation, no
+	// run flags — so it dispatches before the run-flag parse.
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiffCommand(os.Args[2:])
+		return
+	}
 	configFile := flag.String("config", "", "platform specification file (flags set explicitly override it)")
 	proto := flag.String("protocol", "stbus", "communication protocol: stbus|ahb|axi")
 	topo := flag.String("topology", "distributed", "topology: distributed|collapsed")
@@ -142,6 +166,10 @@ func main() {
 	telemetryFile := flag.String("telemetry", "", "stream NDJSON telemetry records (schema mpsocsim.telemetry/1) to this file while the run executes")
 	telemetryEvery := flag.Int64("telemetry-every", platform.DefaultTelemetryEvery, "telemetry snapshot cadence in central cycles (for -telemetry/-live)")
 	liveAddr := flag.String("live", "", "serve live run telemetry over HTTP on this address (/metrics Prometheus text, /events SSE, /progress JSON)")
+	diffFile := flag.String("diff", "", "after the run, diff its report against the baseline report/2 JSON in this file and write the mpsocsim.diff/1 document to stdout instead of the text summary")
+	diffStreamFile := flag.String("diff-stream", "", "after the run, diff its -telemetry NDJSON stream against the baseline stream in this file and write the mpsocsim.diff/1 document to stdout instead of the text summary")
+	bisectFile := flag.String("bisect", "", "localize divergence instead of running: treat the run flags as variant A and this platform config file as variant B, binary-search the first central-clock cycle where observable state differs, and write the mpsocsim.diff/1 bisect document to stdout")
+	bisectGrid := flag.Int64("bisect-grid", 0, "checkpoint grid spacing in central cycles for -bisect (0 = default 2048; rounded up to a power of two)")
 	flag.Parse()
 
 	spec := platform.DefaultSpec()
@@ -232,6 +260,49 @@ func main() {
 	if *restoreFile != "" && (*attrOn || *attrTop > 0) {
 		usagef("-attr/-attr-top cannot be enabled at -restore: observability travels inside the checkpoint — pass them to the run that takes the checkpoint")
 	}
+	// Differential-observability flags have their own contradictions: diffs
+	// compare complete artifacts, bisection probes are serial and perform no
+	// normal run, and elastic replay reschedules issue instants per fabric so
+	// per-cycle alignment between variants is ill-defined.
+	for _, name := range []string{"diff", "diff-stream", "bisect"} {
+		if !set[name] {
+			continue
+		}
+		if *restoreFile != "" {
+			usagef("-%s cannot be combined with -restore: a restored run resumes mid-flight, so its artifacts cover only the suffix — diff two complete runs (or bisect two fresh variants) instead", name)
+		}
+		if *replayMode == "elastic" {
+			usagef("-%s conflicts with -replay-mode elastic: elastic replay reschedules issue instants per fabric, so per-cycle alignment between the two sides is ill-defined — use the default timed replay", name)
+		}
+	}
+	if *diffFile != "" && *diffStreamFile != "" {
+		usagef("-diff and -diff-stream both claim stdout for their document; run them separately")
+	}
+	if *diffStreamFile != "" && *telemetryFile == "" {
+		usagef("-diff-stream needs -telemetry FILE: the comparison reads the stream this run writes")
+	}
+	if *bisectFile != "" {
+		if *diffFile != "" || *diffStreamFile != "" {
+			usagef("-bisect runs the paired localization search instead of a normal run; it cannot be combined with -diff/-diff-stream")
+		}
+		if *shards > 1 {
+			usagef("-bisect probes are serial (the Snapshot/RunToCycle contract): drop -shards")
+		}
+		for _, out := range []struct {
+			name string
+			on   bool
+		}{
+			{"capture", *captureFile != ""}, {"report", *reportFile != ""},
+			{"chrome-trace", *chromeFile != ""}, {"trace", *traceFile != ""},
+			{"vcd", *vcdFile != ""}, {"telemetry", *telemetryFile != ""},
+			{"live", *liveAddr != ""},
+			{"checkpoint", *checkpointFile != "" || *checkpointAt != 0},
+		} {
+			if out.on {
+				usagef("-%s has nothing to apply to under -bisect: the localization search performs no normal run", out.name)
+			}
+		}
+	}
 
 	if *replayFile != "" {
 		tr, err := tracecap.ReadFile(*replayFile)
@@ -247,6 +318,36 @@ func main() {
 	}
 
 	budget := int64(*budgetMS * 1e9)
+	if *bisectFile != "" {
+		// Variant B comes from its own platform config; the replayed stimulus
+		// (if any) is shared so both variants see identical traffic.
+		f, err := os.Open(*bisectFile)
+		if err != nil {
+			fatalf("bisect: %v", err)
+		}
+		specB, err := config.ParsePlatform(f)
+		f.Close()
+		if err != nil {
+			fatalf("bisect: %s: %v", *bisectFile, err)
+		}
+		specB.Replay = spec.Replay
+		specB.ReplayMode = spec.ReplayMode
+		res, err := diff.Bisect(spec, specB, diff.BisectOptions{BudgetPS: budget, GridEvery: *bisectGrid})
+		if err != nil {
+			fatalf("bisect: %v", err)
+		}
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatalf("bisect: %v", err)
+		}
+		if res.DivergedAt >= 0 {
+			fmt.Fprintf(os.Stderr, "bisect: %s vs %s diverge at central cycle %d (%d grid points, %d bisect steps)\n",
+				spec.Name(), specB.Name(), res.DivergedAt, res.GridPoints, res.Steps)
+		} else {
+			fmt.Fprintf(os.Stderr, "bisect: %s vs %s never diverged (agreed through cycle %d)\n",
+				spec.Name(), specB.Name(), res.AgreeCycle)
+		}
+		return
+	}
 	var p *platform.Platform
 	var sampler *trace.Sampler
 	var capture *tracecap.Capture
@@ -380,8 +481,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s: %d telemetry records\n", *telemetryFile, streamer.Written())
 	}
-	if err := r.WriteSummary(os.Stdout); err != nil {
-		fatalf("report: %v", err)
+	switch {
+	case *diffFile != "":
+		// The baseline is side A, this run side B, so deltas read as "what
+		// this run changed". The document replaces the text summary on stdout.
+		base, err := diff.ReadReportFile(*diffFile)
+		if err != nil {
+			fatalf("diff: %v", err)
+		}
+		rep := r.Report()
+		if err := diff.Reports(base, &rep, *diffFile, "").WriteJSON(os.Stdout); err != nil {
+			fatalf("diff: %v", err)
+		}
+	case *diffStreamFile != "":
+		// The streamer closed above, so the fresh stream is complete on disk.
+		d, err := diff.StreamFiles(*diffStreamFile, *telemetryFile)
+		if err != nil {
+			fatalf("diff-stream: %v", err)
+		}
+		if err := d.WriteJSON(os.Stdout); err != nil {
+			fatalf("diff-stream: %v", err)
+		}
+	default:
+		if err := r.WriteSummary(os.Stdout); err != nil {
+			fatalf("report: %v", err)
+		}
 	}
 	if *attrTop > 0 && r.Attribution != nil {
 		if err := writeAttrTop(os.Stderr, r.Attribution, *attrTop); err != nil {

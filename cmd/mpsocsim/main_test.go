@@ -128,3 +128,128 @@ func TestTelemetryFlagWritesNDJSON(t *testing.T) {
 		t.Errorf("stderr missing the record-count summary:\n%s", stderr)
 	}
 }
+
+// TestDiffBisectFlagConflictsExitUsage pins the exit-2 contract for the
+// differential-observability flags: each contradictory combination must be
+// rejected before any file is opened or any cycle simulated.
+func TestDiffBisectFlagConflictsExitUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr fragment identifying the diagnostic
+	}{
+		{"diff with restore",
+			[]string{"-diff", "a.json", "-restore", "warm.ckpt"},
+			"-diff cannot be combined with -restore"},
+		{"diff-stream with restore",
+			[]string{"-diff-stream", "a.ndjson", "-telemetry", "b.ndjson", "-restore", "warm.ckpt"},
+			"-diff-stream cannot be combined with -restore"},
+		{"bisect with restore",
+			[]string{"-bisect", "b.conf", "-restore", "warm.ckpt"},
+			"-bisect cannot be combined with -restore"},
+		{"diff with elastic replay",
+			[]string{"-diff", "a.json", "-replay", "ref.trc", "-replay-mode", "elastic"},
+			"-diff conflicts with -replay-mode elastic"},
+		{"bisect with elastic replay",
+			[]string{"-bisect", "b.conf", "-replay", "ref.trc", "-replay-mode", "elastic"},
+			"-bisect conflicts with -replay-mode elastic"},
+		{"diff with diff-stream",
+			[]string{"-diff", "a.json", "-diff-stream", "a.ndjson", "-telemetry", "b.ndjson"},
+			"both claim stdout"},
+		{"diff-stream without telemetry",
+			[]string{"-diff-stream", "a.ndjson"},
+			"-diff-stream needs -telemetry"},
+		{"bisect with diff",
+			[]string{"-bisect", "b.conf", "-diff", "a.json"},
+			"cannot be combined with -diff"},
+		{"bisect with shards",
+			[]string{"-bisect", "b.conf", "-shards", "2"},
+			"probes are serial"},
+		{"bisect with report",
+			[]string{"-bisect", "b.conf", "-report", "run.json"},
+			"-report has nothing to apply to under -bisect"},
+		{"diff subcommand with one file",
+			[]string{"diff", "a.json"},
+			"exactly two input files"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (usage error)\nstderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, "usage error") {
+				t.Errorf("stderr missing the usage-error prefix:\n%s", stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestDiffSubcommandComparesReports drives the full CLI loop: two variant
+// runs export reports, `mpsocsim diff` compares them, and the document must
+// carry the diff schema and render byte-identically across invocations.
+func TestDiffSubcommandComparesReports(t *testing.T) {
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.json")
+	bPath := filepath.Join(dir, "b.json")
+	if _, stderr, code := runCLI(t, "-scale", "0.1", "-report", aPath); code != 0 {
+		t.Fatalf("run A exit %d:\n%s", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "-scale", "0.1", "-protocol", "ahb", "-report", bPath); code != 0 {
+		t.Fatalf("run B exit %d:\n%s", code, stderr)
+	}
+	out1, stderr, code := runCLI(t, "diff", aPath, bPath)
+	if code != 0 {
+		t.Fatalf("diff exit %d:\n%s", code, stderr)
+	}
+	out2, _, code := runCLI(t, "diff", aPath, bPath)
+	if code != 0 || out1 != out2 {
+		t.Fatalf("diff output not stable across invocations (exit %d)", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out1), &doc); err != nil {
+		t.Fatalf("diff output is not JSON: %v", err)
+	}
+	if doc["schema"] != "mpsocsim.diff/1" || doc["kind"] != "report" {
+		t.Fatalf("schema/kind = %v/%v", doc["schema"], doc["kind"])
+	}
+	if counters, _ := doc["counters"].([]any); len(counters) == 0 {
+		t.Fatalf("cross-fabric diff carries no counter deltas")
+	}
+}
+
+// TestBisectFlagLocalizesPerturbation seeds a one-parameter perturbation
+// (one extra on-chip wait state) through a variant-B config file and
+// asserts the CLI bisection reports a positive diverged_at cycle.
+func TestBisectFlagLocalizesPerturbation(t *testing.T) {
+	conf := filepath.Join(t.TempDir(), "b.conf")
+	text := "[platform]\nmemory = onchip\nscale = 0.05\nwaitstates = 2\n"
+	if err := os.WriteFile(conf, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runCLI(t,
+		"-memory", "onchip", "-scale", "0.05",
+		"-bisect", conf, "-bisect-grid", "256",
+	)
+	if code != 0 {
+		t.Fatalf("bisect exit %d:\n%s", code, stderr)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("bisect output is not JSON: %v", err)
+	}
+	if doc["schema"] != "mpsocsim.diff/1" || doc["kind"] != "bisect" {
+		t.Fatalf("schema/kind = %v/%v", doc["schema"], doc["kind"])
+	}
+	div, _ := doc["diverged_at"].(float64)
+	if div <= 0 {
+		t.Fatalf("diverged_at = %v, want a positive cycle", doc["diverged_at"])
+	}
+	if !strings.Contains(stderr, "diverge at central cycle") {
+		t.Errorf("stderr missing the divergence note:\n%s", stderr)
+	}
+}

@@ -18,6 +18,7 @@ import (
 //	topology  = distributed    # distributed | collapsed
 //	memory    = lmi            # onchip | lmi
 //	waitstates = 1             # on-chip memory wait states
+//	lmi.sdram.cas = 3          # SDRAM CAS latency in memory cycles (>= 1)
 //	stbustype = 3              # 1 | 2 | 3
 //	scale     = 1.0
 //	seed      = 1
@@ -116,6 +117,12 @@ func platformKey(spec *platform.Spec, key, val string) error {
 			return fmt.Errorf("waitstates wants a non-negative integer, got %q", val)
 		}
 		spec.OnChipWaitStates = n
+	case "lmi.sdram.cas":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("lmi.sdram.cas wants a positive integer, got %q", val)
+		}
+		spec.LMI.SDRAM.Timing.TCAS = n
 	case "stbustype":
 		n, err := strconv.Atoi(val)
 		if err != nil || n < 1 || n > 3 {

@@ -1,0 +1,143 @@
+package diff
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mpsocsim/internal/config"
+	"mpsocsim/internal/metrics"
+	"mpsocsim/internal/platform"
+	"mpsocsim/internal/telemetry"
+)
+
+func runReport(t *testing.T, text string, attr bool) *platform.Report {
+	t.Helper()
+	spec, err := config.ParsePlatformString(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := platform.Build(spec)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if attr {
+		p.EnableAttribution(0)
+	}
+	r := p.Run(5_000_000_000_000)
+	rep := r.Report()
+	return &rep
+}
+
+func TestReportDiffRanksAndFlags(t *testing.T) {
+	a := runReport(t, "[platform]\nprotocol = stbus\ntopology = distributed\nmemory = lmi\nscale = 0.1\nio = true\n", true)
+	b := runReport(t, "[platform]\nprotocol = ahb\ntopology = distributed\nmemory = lmi\nscale = 0.1\nio = true\n", true)
+	d := Reports(a, b, "a.json", "b.json")
+
+	if d.Schema != Schema || d.Kind != "report" {
+		t.Fatalf("schema/kind = %q/%q", d.Schema, d.Kind)
+	}
+	if len(d.Scalars) != 7 {
+		t.Fatalf("got %d scalar rows, want 7", len(d.Scalars))
+	}
+	if len(d.Counters) == 0 {
+		t.Fatalf("cross-fabric runs produced no counter deltas")
+	}
+	for i := 1; i < len(d.Counters); i++ {
+		ri, rj := d.Counters[i-1].Rel, d.Counters[i].Rel
+		if abs(ri) < abs(rj) {
+			t.Fatalf("counter deltas not ranked: %v before %v", d.Counters[i-1], d.Counters[i])
+		}
+	}
+	// STBus and AHB register fabric-specific instruments, so both
+	// only-in lists must be populated.
+	if len(d.CountersOnlyInA) == 0 || len(d.CountersOnlyInB) == 0 {
+		t.Fatalf("cross-fabric only-in lists empty: %v / %v", d.CountersOnlyInA, d.CountersOnlyInB)
+	}
+	if d.Attribution == nil || len(d.Attribution.Cells) == 0 {
+		t.Fatalf("attribution section missing or empty")
+	}
+	if len(d.Deadlines) == 0 {
+		t.Fatalf("io runs produced no deadline comparison")
+	}
+	for _, row := range d.Deadlines {
+		if row.Regressed != (row.MissedB > row.MissedA) {
+			t.Fatalf("regression flag inconsistent: %+v", row)
+		}
+	}
+}
+
+func TestReportDiffIdenticalRunsQuiet(t *testing.T) {
+	a := runReport(t, "[platform]\nmemory = onchip\nscale = 0.1\n", false)
+	b := runReport(t, "[platform]\nmemory = onchip\nscale = 0.1\n", false)
+	d := Reports(a, b, "", "")
+	if len(d.Counters) != 0 || len(d.Gauges) != 0 || len(d.Histograms) != 0 {
+		t.Fatalf("identical runs produced deltas: %d counters, %d gauges, %d histograms",
+			len(d.Counters), len(d.Gauges), len(d.Histograms))
+	}
+	for _, s := range d.Scalars {
+		if s.Delta != 0 {
+			t.Fatalf("identical runs moved scalar %s by %v", s.Name, s.Delta)
+		}
+	}
+}
+
+func TestReportDiffJSONDeterministic(t *testing.T) {
+	a := runReport(t, "[platform]\nprotocol = stbus\nmemory = lmi\nscale = 0.1\n", false)
+	b := runReport(t, "[platform]\nprotocol = axi\nmemory = lmi\nscale = 0.1\n", false)
+	var b1, b2 bytes.Buffer
+	if err := Reports(a, b, "x", "y").WriteJSON(&b1); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := Reports(a, b, "x", "y").WriteJSON(&b2); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("diff output not byte-identical across invocations")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("diff output not valid JSON: %v", err)
+	}
+	if doc["schema"] != Schema {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+}
+
+func TestStreamDiffFindsFirstDivergentRecord(t *testing.T) {
+	rec := func(seq, cycle, grants int64) telemetry.Record {
+		return telemetry.Record{
+			Schema: telemetry.Schema, Seq: seq, Cycle: cycle, TimePS: cycle * 4000,
+			Issued: 2 * seq, Completed: seq,
+			Counters: []metrics.CounterValue{{Name: "fab.grants", Value: grants}},
+		}
+	}
+	a := &telemetry.Stream{Records: []telemetry.Record{rec(0, 100, 5), rec(1, 200, 9), rec(2, 300, 14)}}
+	b := &telemetry.Stream{Records: []telemetry.Record{rec(0, 100, 5), rec(1, 200, 9), rec(2, 300, 17)}}
+	d := Streams(a, b, "a.ndjson", "b.ndjson")
+	if d.DivergedAt == nil {
+		t.Fatalf("divergent streams reported identical")
+	}
+	if d.DivergedAt.Seq != 2 || d.DivergedAt.CycleA != 300 {
+		t.Fatalf("diverged at seq %d cycle %d, want seq 2 cycle 300", d.DivergedAt.Seq, d.DivergedAt.CycleA)
+	}
+	if d.Compared != 2 {
+		t.Fatalf("compared %d pairs before divergence, want 2", d.Compared)
+	}
+	if len(d.DivergedAt.Counters) != 1 || d.DivergedAt.Counters[0].Name != "fab.grants" {
+		t.Fatalf("first disagreeing counters = %+v", d.DivergedAt.Counters)
+	}
+
+	// Identical prefixes with a sequence gap (ring drop) still align.
+	c := &telemetry.Stream{Records: []telemetry.Record{rec(0, 100, 5), rec(2, 300, 14)}}
+	if d := Streams(a, c, "", ""); d.DivergedAt != nil || d.Compared != 2 {
+		t.Fatalf("seq-gap alignment failed: %+v", d)
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

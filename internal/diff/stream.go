@@ -1,0 +1,177 @@
+package diff
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mpsocsim/internal/telemetry"
+)
+
+// StreamSide identifies one telemetry stream of a comparison.
+type StreamSide struct {
+	File      string `json:"file,omitempty"`
+	Records   int64  `json:"records"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// StreamDivergence describes the first aligned snapshot pair that
+// disagrees: its sequence number, each side's cycle, which top-level fields
+// differ, and the instrument/initiator values that first disagree (ranked
+// most-disturbed first, like the report diff).
+type StreamDivergence struct {
+	Seq        int64        `json:"seq"`
+	CycleA     int64        `json:"cycle_a"`
+	CycleB     int64        `json:"cycle_b"`
+	Fields     []string     `json:"fields,omitempty"`
+	Counters   []ValueDelta `json:"counters,omitempty"`
+	Gauges     []ValueDelta `json:"gauges,omitempty"`
+	Initiators []ValueDelta `json:"initiators,omitempty"`
+}
+
+// StreamDiff is the comparison of two telemetry NDJSON streams, aligned by
+// sequence number. DivergedAt is nil when every aligned pair matched.
+type StreamDiff struct {
+	Schema     string            `json:"schema"`
+	Kind       string            `json:"kind"`
+	A          StreamSide        `json:"a"`
+	B          StreamSide        `json:"b"`
+	Compared   int64             `json:"compared"`
+	DivergedAt *StreamDivergence `json:"diverged_at,omitempty"`
+}
+
+// StreamFiles reads two NDJSON telemetry streams and diffs them. A
+// truncated final line (crash-interrupted run) is tolerated and flagged on
+// that side rather than failing the comparison.
+func StreamFiles(pathA, pathB string) (*StreamDiff, error) {
+	read := func(path string) (*telemetry.Stream, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := telemetry.ReadStream(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	sa, err := read(pathA)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := read(pathB)
+	if err != nil {
+		return nil, err
+	}
+	return Streams(sa, sb, pathA, pathB), nil
+}
+
+// Streams diffs two parsed telemetry streams. Records are aligned by
+// sequence number (a side's ring may have dropped records, so sequences can
+// be sparse); the walk stops at the first aligned pair that disagrees.
+func Streams(a, b *telemetry.Stream, fileA, fileB string) *StreamDiff {
+	d := &StreamDiff{
+		Schema: Schema,
+		Kind:   "telemetry",
+		A:      StreamSide{File: fileA, Records: int64(len(a.Records)), Truncated: a.Truncated()},
+		B:      StreamSide{File: fileB, Records: int64(len(b.Records)), Truncated: b.Truncated()},
+	}
+	i, j := 0, 0
+	for i < len(a.Records) && j < len(b.Records) {
+		ra, rb := &a.Records[i], &b.Records[j]
+		if ra.Seq < rb.Seq {
+			i++
+			continue
+		}
+		if rb.Seq < ra.Seq {
+			j++
+			continue
+		}
+		if div := compareRecords(ra, rb); div != nil {
+			d.DivergedAt = div
+			return d
+		}
+		d.Compared++
+		i, j = i+1, j+1
+	}
+	return d
+}
+
+// compareRecords returns nil when the two snapshots agree, or the
+// divergence description otherwise. Instrument comparisons cover the names
+// present on both sides, so cross-fabric streams (different registries)
+// still align on their shared subsystems.
+func compareRecords(a, b *telemetry.Record) *StreamDivergence {
+	div := &StreamDivergence{Seq: a.Seq, CycleA: a.Cycle, CycleB: b.Cycle}
+	if a.Cycle != b.Cycle {
+		div.Fields = append(div.Fields, "cycle")
+	}
+	if a.TimePS != b.TimePS {
+		div.Fields = append(div.Fields, "time_ps")
+	}
+	if a.Issued != b.Issued {
+		div.Fields = append(div.Fields, "issued")
+	}
+	if a.Completed != b.Completed {
+		div.Fields = append(div.Fields, "completed")
+	}
+
+	bc := make(map[string]int64, len(b.Counters))
+	for _, c := range b.Counters {
+		bc[c.Name] = c.Value
+	}
+	for _, c := range a.Counters {
+		if vb, ok := bc[c.Name]; ok && vb != c.Value {
+			div.Counters = append(div.Counters, ValueDelta{
+				Name: c.Name, A: c.Value, B: vb,
+				Delta: vb - c.Value, Rel: rel(float64(c.Value), float64(vb)),
+			})
+		}
+	}
+	bg := make(map[string]int64, len(b.Gauges))
+	for _, g := range b.Gauges {
+		bg[g.Name] = g.Value
+	}
+	for _, g := range a.Gauges {
+		if vb, ok := bg[g.Name]; ok && vb != g.Value {
+			div.Gauges = append(div.Gauges, ValueDelta{
+				Name: g.Name, A: g.Value, B: vb,
+				Delta: vb - g.Value, Rel: rel(float64(g.Value), float64(vb)),
+			})
+		}
+	}
+	type iv struct{ issued, completed int64 }
+	bi := make(map[string]iv, len(b.Initiators))
+	for _, r := range b.Initiators {
+		bi[r.Name] = iv{issued: r.Issued, completed: r.Completed}
+	}
+	for _, r := range a.Initiators {
+		vb, ok := bi[r.Name]
+		if !ok {
+			continue
+		}
+		if vb.issued != r.Issued {
+			div.Initiators = append(div.Initiators, ValueDelta{
+				Name: r.Name + ".issued", A: r.Issued, B: vb.issued,
+				Delta: vb.issued - r.Issued, Rel: rel(float64(r.Issued), float64(vb.issued)),
+			})
+		}
+		if vb.completed != r.Completed {
+			div.Initiators = append(div.Initiators, ValueDelta{
+				Name: r.Name + ".completed", A: r.Completed, B: vb.completed,
+				Delta: vb.completed - r.Completed, Rel: rel(float64(r.Completed), float64(vb.completed)),
+			})
+		}
+	}
+	if len(div.Fields) == 0 && len(div.Counters) == 0 && len(div.Gauges) == 0 && len(div.Initiators) == 0 {
+		return nil
+	}
+	rankValues(div.Counters)
+	rankValues(div.Gauges)
+	rankValues(div.Initiators)
+	return div
+}
+
+// WriteJSON renders the diff document deterministically.
+func (d *StreamDiff) WriteJSON(w io.Writer) error { return writeJSON(w, d) }
